@@ -1,0 +1,210 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Sec. 5), one benchmark per exhibit, plus microbenchmarks of the
+// substrate. Each figure benchmark runs a scaled-down sweep (TinyScale
+// fabric, shortened windows) and logs the resulting table; use cmd/petbench
+// for full-size runs.
+//
+//	go test -bench=. -benchmem
+package pet_test
+
+import (
+	"testing"
+
+	"pet"
+	"pet/internal/rl"
+	"pet/internal/rl/ddqn"
+	"pet/internal/rl/ppo"
+	"pet/internal/rng"
+)
+
+// benchRunner shrinks the experiment windows so a full figure fits in one
+// benchmark iteration.
+func benchRunner() *pet.Runner {
+	r := pet.NewRunner()
+	r.Loads = []float64{0.3, 0.6}
+	r.TrainTime = 10 * pet.Millisecond
+	r.Warmup = 10 * pet.Millisecond
+	r.Duration = 20 * pet.Millisecond
+	return r
+}
+
+func logTables(b *testing.B, i int, tables ...*pet.Table) {
+	b.Helper()
+	if i != 0 {
+		return
+	}
+	for _, t := range tables {
+		b.Logf("\n%s", t)
+	}
+}
+
+func BenchmarkFig3TrafficCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := benchRunner().Fig3()
+		logTables(b, i, t)
+	}
+}
+
+func BenchmarkFig4FCTWebSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.Fig4()...)
+	}
+}
+
+func BenchmarkFig5FCTWorkloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.Fig5()...)
+	}
+}
+
+func BenchmarkTable1QueueLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.Table1())
+	}
+}
+
+func BenchmarkFig6PatternSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.Fig6()...)
+	}
+}
+
+func BenchmarkFig7LinkFailure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.Fig7())
+	}
+}
+
+func BenchmarkFig8Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.Fig8())
+	}
+}
+
+func BenchmarkFig9StateAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.Fig9())
+	}
+}
+
+func BenchmarkAblationGlobalReplayOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.AblationReplayOverhead())
+	}
+}
+
+func BenchmarkAblationHistoryK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.AblationHistoryK())
+	}
+}
+
+func BenchmarkAblationRewardBeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.AblationRewardBeta())
+	}
+}
+
+func BenchmarkAblationCTDE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.AblationCTDE())
+	}
+}
+
+func BenchmarkAblationTransportCompat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.TransportCompat())
+	}
+}
+
+func BenchmarkAblationDynamicBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		logTables(b, i, r.DynamicBaselines())
+	}
+}
+
+// Substrate microbenchmarks.
+
+// BenchmarkSimulatorPacketForwarding measures raw packet events per second
+// through the fabric with a static scheme (no learning in the loop).
+func BenchmarkSimulatorPacketForwarding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := pet.Run(pet.Scenario{
+			Scheme:   pet.SchemeSECN1,
+			Load:     0.7,
+			Warmup:   2 * pet.Millisecond,
+			Duration: 20 * pet.Millisecond,
+			Seed:     int64(i + 1),
+		})
+		if res.FlowsDone == 0 {
+			b.Fatal("no flows completed")
+		}
+	}
+}
+
+// BenchmarkPPOInference measures one policy forward pass — the per-Δt cost
+// a switch pays at execution time.
+func BenchmarkPPOInference(b *testing.B) {
+	agent := ppo.New(ppo.Config{ObsDim: 24, Heads: []int{10, 10, 20}}, 1)
+	state := make([]float64, 24)
+	for i := range state {
+		state[i] = 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Act(state, false)
+	}
+}
+
+// BenchmarkPPOUpdate measures one IPPO update over a 32-step trajectory —
+// the per-update cost of online incremental training.
+func BenchmarkPPOUpdate(b *testing.B) {
+	agent := ppo.New(ppo.Config{ObsDim: 24, Heads: []int{10, 10, 20}}, 1)
+	state := make([]float64, 24)
+	traj := &rl.Trajectory{}
+	for i := 0; i < 32; i++ {
+		acts, logp, v := agent.Act(state, true)
+		traj.Add(rl.Transition{State: state, Actions: acts, LogProb: logp, Value: v, Reward: 0.5})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Update(traj, 0)
+	}
+}
+
+// BenchmarkDDQNLearn measures one ACC learning step (minibatch Double-Q
+// update), for comparison with PPO's update cost.
+func BenchmarkDDQNLearn(b *testing.B) {
+	agent := ddqn.New(ddqn.Config{ObsDim: 18, Actions: 200}, 1, nil)
+	s := make([]float64, 18)
+	for i := 0; i < 256; i++ {
+		agent.Observe(ddqn.Transition{S: s, A: i % 200, R: 0.5, S2: s})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Observe(ddqn.Transition{S: s, A: i % 200, R: 0.5, S2: s})
+	}
+}
+
+// BenchmarkWorkloadSampling measures flow-size draws from the WebSearch CDF.
+func BenchmarkWorkloadSampling(b *testing.B) {
+	cdf := pet.WebSearch()
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cdf.Sample(r)
+	}
+}

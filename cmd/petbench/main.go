@@ -1,0 +1,126 @@
+// Command petbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	petbench -exp all                 # every experiment
+//	petbench -exp fig4,table1         # a subset
+//	petbench -exp fig4 -topo small    # bigger fabric, slower
+//	petbench -quick                   # fast smoke pass
+//
+// Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 overhead historyk beta
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pet"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiments or 'all'")
+		topoF  = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		seed   = flag.Int64("seed", 1, "root random seed")
+		seeds  = flag.Int("seeds", 1, "independent seeds averaged per result cell")
+		loads  = flag.String("loads", "0.3,0.5,0.7", "comma-separated offered loads")
+		quick  = flag.Bool("quick", false, "shrink training and measurement windows")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	r := pet.NewRunner()
+	r.Seed = *seed
+	r.Seeds = *seeds
+	switch *topoF {
+	case "tiny":
+		r.Topo = pet.TinyScale()
+	case "small":
+		r.Topo = pet.SmallScale()
+	case "paper":
+		r.Topo = pet.PaperScale()
+		fmt.Fprintln(os.Stderr, "note: paper-scale fabric; expect long runtimes")
+	default:
+		fmt.Fprintf(os.Stderr, "petbench: unknown topo %q\n", *topoF)
+		os.Exit(2)
+	}
+	r.Loads = nil
+	for _, s := range strings.Split(*loads, ",") {
+		var l float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &l); err != nil || l <= 0 || l > 1 {
+			fmt.Fprintf(os.Stderr, "petbench: bad load %q\n", s)
+			os.Exit(2)
+		}
+		r.Loads = append(r.Loads, l)
+	}
+	if *quick {
+		r.TrainTime = 10 * pet.Millisecond
+		r.Warmup = 5 * pet.Millisecond
+		r.Duration = 15 * pet.Millisecond
+	}
+
+	type experiment struct {
+		name string
+		run  func() []*pet.Table
+	}
+	catalog := []experiment{
+		{"fig3", func() []*pet.Table { return []*pet.Table{r.Fig3()} }},
+		{"fig4", r.Fig4},
+		{"fig5", r.Fig5},
+		{"fig6", r.Fig6},
+		{"fig7", func() []*pet.Table { return []*pet.Table{r.Fig7()} }},
+		{"fig8", func() []*pet.Table { return []*pet.Table{r.Fig8()} }},
+		{"fig9", func() []*pet.Table { return []*pet.Table{r.Fig9()} }},
+		{"table1", func() []*pet.Table { return []*pet.Table{r.Table1()} }},
+		{"overhead", func() []*pet.Table { return []*pet.Table{r.AblationReplayOverhead()} }},
+		{"historyk", func() []*pet.Table { return []*pet.Table{r.AblationHistoryK()} }},
+		{"beta", func() []*pet.Table { return []*pet.Table{r.AblationRewardBeta()} }},
+		{"dynamic", func() []*pet.Table { return []*pet.Table{r.DynamicBaselines()} }},
+		{"ctde", func() []*pet.Table { return []*pet.Table{r.AblationCTDE()} }},
+		{"compat", func() []*pet.Table { return []*pet.Table{r.TransportCompat()} }},
+	}
+
+	want := map[string]bool{}
+	if *exps != "all" {
+		for _, e := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+		known := map[string]bool{}
+		for _, e := range catalog {
+			known[e.name] = true
+		}
+		for e := range want {
+			if !known[e] {
+				fmt.Fprintf(os.Stderr, "petbench: unknown experiment %q\n", e)
+				os.Exit(2)
+			}
+		}
+	}
+
+	for _, e := range catalog {
+		if *exps != "all" && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		for i, tb := range e.run() {
+			fmt.Println(tb)
+			if *csvDir != "" {
+				path := fmt.Sprintf("%s/%s_%d.csv", *csvDir, e.name, i)
+				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

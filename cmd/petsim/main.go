@@ -1,0 +1,116 @@
+// Command petsim runs one simulation scenario and prints its statistics.
+//
+// Usage:
+//
+//	petsim -scheme PET -load 0.6 -workload websearch -train
+//	petsim -scheme SECN1 -topo small -duration 100ms
+//	petsim -scheme PET -models pet.model      # offline-trained weights
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pet"
+)
+
+func main() {
+	var (
+		schemeF = flag.String("scheme", "PET", "PET | PET-ablated | ACC | SECN1 | SECN2")
+		topoF   = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		wlF     = flag.String("workload", "websearch", "websearch | datamining")
+		load    = flag.Float64("load", 0.6, "offered load fraction (0,1]")
+		incast  = flag.Float64("incast", 0.2, "fraction of load delivered as incast groups")
+		fanIn   = flag.Int("fanin", 3, "senders per incast group")
+		train   = flag.Bool("train", true, "online incremental training (learned schemes)")
+		models  = flag.String("models", "", "PET model bundle from pettrain")
+		warmup  = flag.Duration("warmup", 20*time.Millisecond, "simulated warmup before measurement")
+		dur     = flag.Duration("duration", 60*time.Millisecond, "simulated measurement window")
+		seed    = flag.Int64("seed", 1, "root random seed")
+		traceF  = flag.String("trace", "", "write an event trace CSV to this path")
+	)
+	flag.Parse()
+
+	s := pet.Scenario{
+		Seed:           *seed,
+		Load:           *load,
+		IncastFraction: *incast,
+		IncastFanIn:    *fanIn,
+		Scheme:         pet.Scheme(*schemeF),
+		Train:          *train,
+		Warmup:         pet.Time(warmup.Nanoseconds()) * pet.Nanosecond,
+		Duration:       pet.Time(dur.Nanoseconds()) * pet.Nanosecond,
+	}
+	switch *topoF {
+	case "tiny":
+		s.Topo = pet.TinyScale()
+	case "small":
+		s.Topo = pet.SmallScale()
+	case "paper":
+		s.Topo = pet.PaperScale()
+	default:
+		fatalf("unknown topo %q", *topoF)
+	}
+	switch *wlF {
+	case "websearch":
+		s.Workload = pet.WebSearch()
+		s.Beta1, s.Beta2 = 0.3, 0.7
+	case "datamining":
+		s.Workload = pet.DataMining()
+		s.Beta1, s.Beta2 = 0.7, 0.3
+	default:
+		fatalf("unknown workload %q", *wlF)
+	}
+	if *models != "" {
+		data, err := os.ReadFile(*models)
+		if err != nil {
+			fatalf("reading models: %v", err)
+		}
+		s.Models = data
+	}
+
+	s.Trace = *traceF != ""
+	start := time.Now()
+	env := pet.NewEnv(s)
+	res := env.Run()
+	wall := time.Since(start)
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fatalf("creating trace: %v", err)
+		}
+		if err := env.Trace.WriteCSV(f); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing trace: %v", err)
+		}
+		fmt.Printf("trace       %d events -> %s\n", env.Trace.Len(), *traceF)
+	}
+
+	fmt.Printf("scheme      %s  (%s, load %.0f%%, %s)\n", res.Scheme, *wlF, *load*100, *topoF)
+	fmt.Printf("flows done  %d   drops %d\n", res.FlowsDone, res.Drops)
+	fmt.Printf("normalized FCT (slowdown):\n")
+	fmt.Printf("  overall        avg %8.2f   p99 %8.2f   (n=%d)\n",
+		res.Overall.AvgSlowdown, res.Overall.P99Slowdown, res.Overall.N)
+	fmt.Printf("  mice <=100KB   avg %8.2f   p99 %8.2f   (n=%d)\n",
+		res.MiceBkt.AvgSlowdown, res.MiceBkt.P99Slowdown, res.MiceBkt.N)
+	fmt.Printf("  elephant>=10MB avg %8.2f   p99 %8.2f   (n=%d)\n",
+		res.Elephant.AvgSlowdown, res.Elephant.P99Slowdown, res.Elephant.N)
+	fmt.Printf("  incast flows   avg %8.2f   p99 %8.2f   (n=%d)\n",
+		res.Incast.AvgSlowdown, res.Incast.P99Slowdown, res.Incast.N)
+	fmt.Printf("latency     avg %.1fus   p99 %.1fus\n", res.LatencyAvgUs, res.LatencyP99Us)
+	fmt.Printf("queue       avg %.1fKB   var %.1fKB\n", res.QueueAvgKB, res.QueueVarKB)
+	if res.ReplayBytesExchanged > 0 {
+		fmt.Printf("replay      %d bytes exchanged, %d bytes resident\n",
+			res.ReplayBytesExchanged, res.ReplayMemoryBytes)
+	}
+	fmt.Printf("wall clock  %v\n", wall.Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "petsim: "+format+"\n", args...)
+	os.Exit(2)
+}

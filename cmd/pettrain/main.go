@@ -1,0 +1,63 @@
+// Command pettrain runs PET's offline pre-training phase (Sec. 4.4.1) and
+// writes the resulting per-switch model bundle for later deployment.
+//
+// Usage:
+//
+//	pettrain -workload websearch -duration 200ms -out pet.model
+//	petsim -scheme PET -models pet.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pet"
+)
+
+func main() {
+	var (
+		topoF = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		wlF   = flag.String("workload", "websearch", "websearch | datamining")
+		load  = flag.Float64("load", 0.6, "offered training load")
+		dur   = flag.Duration("duration", 100*time.Millisecond, "simulated training time")
+		seed  = flag.Int64("seed", 1, "root random seed")
+		out   = flag.String("out", "pet.model", "output model bundle path")
+	)
+	flag.Parse()
+
+	s := pet.Scenario{Seed: *seed, Load: *load, IncastFraction: 0.2, IncastFanIn: 3}
+	switch *topoF {
+	case "tiny":
+		s.Topo = pet.TinyScale()
+	case "small":
+		s.Topo = pet.SmallScale()
+	case "paper":
+		s.Topo = pet.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "pettrain: unknown topo %q\n", *topoF)
+		os.Exit(2)
+	}
+	switch *wlF {
+	case "websearch":
+		s.Workload = pet.WebSearch()
+		s.Beta1, s.Beta2 = 0.3, 0.7
+	case "datamining":
+		s.Workload = pet.DataMining()
+		s.Beta1, s.Beta2 = 0.7, 0.3
+	default:
+		fmt.Fprintf(os.Stderr, "pettrain: unknown workload %q\n", *wlF)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	models := pet.PretrainPET(s, pet.Time(dur.Nanoseconds())*pet.Nanosecond)
+	if err := os.WriteFile(*out, models, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained %s/%s for %v simulated time in %v wall clock\n",
+		*topoF, *wlF, dur, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %d bytes to %s\n", len(models), *out)
+}

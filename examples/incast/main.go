@@ -1,0 +1,45 @@
+// Incast: a pure partition-aggregate workload (every flow is part of a
+// many-to-one group), the traffic pattern that motivates PET's
+// incast-degree state. Uses the lower-level Env API to inspect what a PET
+// agent's Network Condition Monitor actually saw.
+//
+//	go run ./examples/incast
+package main
+
+import (
+	"fmt"
+
+	"pet"
+)
+
+func main() {
+	fmt.Println("Incast stress — 100% partition-aggregate traffic, fan-in 3")
+	fmt.Println()
+
+	for _, scheme := range []pet.Scheme{pet.SchemePET, pet.SchemeSECN2} {
+		env := pet.NewEnv(pet.Scenario{
+			Scheme:         scheme,
+			Train:          true,
+			Load:           0.5,
+			IncastFraction: 1.0, // everything is incast
+			IncastFanIn:    3,
+			Warmup:         15 * pet.Millisecond,
+			Duration:       40 * pet.Millisecond,
+		})
+		res := env.Run()
+		fmt.Printf("%-6s  incast nFCT avg %6.2f  p99 %6.2f   queue avg %5.1f KB  drops %d\n",
+			scheme, res.Incast.AvgSlowdown, res.Incast.P99Slowdown, res.QueueAvgKB, res.Drops)
+
+		if env.PET != nil {
+			// Peek into one agent's monitor: flow-table occupancy and the
+			// configuration its policy converged to.
+			a := env.PET.Agents()[0]
+			cur := a.CurrentECN()
+			fmt.Printf("        PET agent on switch %d: %d tuning steps, ECN Kmin=%dKB Kmax=%dKB Pmax=%.0f%%\n",
+				a.Switch, a.Steps(), cur.KminBytes>>10, cur.KmaxBytes>>10, cur.Pmax*100)
+		}
+	}
+	fmt.Println()
+	fmt.Println("PET's incast-degree state lets it pre-empt queue build-up that the")
+	fmt.Println("static HPCC thresholds (100/400 KB) absorb as latency.")
+}

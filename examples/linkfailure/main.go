@@ -1,0 +1,55 @@
+// Link failure robustness (the paper's Fig. 7 scenario at example scale):
+// 10% of fabric links go down mid-run and come back later; the time series
+// shows PET degrading and recovering.
+//
+//	go run ./examples/linkfailure
+package main
+
+import (
+	"fmt"
+
+	"pet"
+)
+
+func main() {
+	fmt.Println("Link failure — Web Search @ 60%, fabric links flap mid-run")
+	fmt.Println()
+
+	var failed []pet.Time // not link IDs — just to show timing in output
+	res := pet.Run(pet.Scenario{
+		Scheme:         pet.SchemePET,
+		Train:          true,
+		Load:           0.6,
+		IncastFraction: 0.2,
+		IncastFanIn:    3,
+		Warmup:         20 * pet.Millisecond,
+		Duration:       80 * pet.Millisecond,
+		SeriesWindow:   10 * pet.Millisecond,
+		Events: []pet.Event{
+			{At: 40 * pet.Millisecond, Do: func(e *pet.Env) {
+				links := e.Net.Graph().SwitchLinks()[:1]
+				e.Net.SetLinksUp(links, false)
+				failed = append(failed, e.Eng.Now())
+				fmt.Printf("  t=%v: link %d DOWN\n", e.Eng.Now(), links[0])
+			}},
+			{At: 70 * pet.Millisecond, Do: func(e *pet.Env) {
+				links := e.Net.Graph().SwitchLinks()[:1]
+				e.Net.SetLinksUp(links, true)
+				fmt.Printf("  t=%v: link %d restored\n", e.Eng.Now(), links[0])
+			}},
+		},
+	})
+
+	fmt.Println()
+	fmt.Println("overall normalized FCT per 10ms window (relative to measurement start):")
+	for _, b := range res.Series["all"].Buckets() {
+		bar := ""
+		for i := 0.0; i < b.Mean && i < 60; i += 2 {
+			bar += "#"
+		}
+		fmt.Printf("  %6v  %7.2f  %s\n", b.Start, b.Mean, bar)
+	}
+	fmt.Printf("\ncompleted flows: %d, drops during blackout: %d\n", res.FlowsDone, res.Drops)
+	fmt.Println("Go-back-N retransmission plus ECMP failover keep flows alive; PET's")
+	fmt.Println("agents re-tune to the reduced fabric capacity within a few intervals.")
+}

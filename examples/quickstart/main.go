@@ -1,0 +1,35 @@
+// Quickstart: run one Web Search scenario under PET and under the static
+// DCQCN thresholds, and compare flow completion times.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pet"
+)
+
+func main() {
+	fmt.Println("PET quickstart — 8-host leaf-spine, Web Search @ 60% load")
+	fmt.Println()
+
+	for _, scheme := range []pet.Scheme{pet.SchemePET, pet.SchemeSECN1} {
+		res := pet.Run(pet.Scenario{
+			Scheme:         scheme,
+			Train:          true, // online incremental training (PET only)
+			Load:           0.6,
+			IncastFraction: 0.2,
+			IncastFanIn:    3,
+			Warmup:         20 * pet.Millisecond,
+			Duration:       40 * pet.Millisecond,
+		})
+		fmt.Printf("%-6s  overall nFCT %6.2f   mice avg %6.2f   mice p99 %6.2f   queue %5.1f KB\n",
+			res.Scheme, res.Overall.AvgSlowdown, res.MiceBkt.AvgSlowdown,
+			res.MiceBkt.P99Slowdown, res.QueueAvgKB)
+	}
+
+	fmt.Println()
+	fmt.Println("Lower normalized FCT is better; PET tunes the ECN thresholds that")
+	fmt.Println("SECN1 keeps fixed at DCQCN's 5/200 KB.")
+}

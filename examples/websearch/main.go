@@ -1,0 +1,58 @@
+// Web Search sweep: the paper's motivating latency-sensitive workload,
+// swept across offered loads for all four schemes, reproducing the shape of
+// Fig. 4 at example scale. Demonstrates offline pre-training (Sec. 4.4.1)
+// followed by online incremental deployment.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+
+	"pet"
+)
+
+func main() {
+	fmt.Println("Web Search workload — mice avg normalized FCT by load")
+	fmt.Println()
+
+	// Offline phase: pre-train PET once on a representative load. Learned
+	// policies are budget-sensitive: the full harness (cmd/petbench) uses
+	// 300 ms of simulated training; shrink this to trade fidelity for time.
+	models := pet.PretrainPET(pet.Scenario{
+		Load:           0.6,
+		IncastFraction: 0.2,
+		IncastFanIn:    3,
+	}, 200*pet.Millisecond)
+	fmt.Printf("pre-trained PET model bundle: %d bytes\n\n", len(models))
+
+	loads := []float64{0.3, 0.5, 0.7}
+	fmt.Printf("%-7s", "scheme")
+	for _, l := range loads {
+		fmt.Printf("  %5.0f%%", l*100)
+	}
+	fmt.Println()
+
+	for _, scheme := range []pet.Scheme{pet.SchemePET, pet.SchemeACC, pet.SchemeSECN1, pet.SchemeSECN2} {
+		fmt.Printf("%-7s", scheme)
+		for _, load := range loads {
+			s := pet.Scenario{
+				Scheme:         scheme,
+				Train:          true,
+				Load:           load,
+				IncastFraction: 0.2,
+				IncastFanIn:    3,
+				Warmup:         15 * pet.Millisecond,
+				Duration:       40 * pet.Millisecond,
+			}
+			if scheme == pet.SchemePET {
+				s.Models = models // deploy the offline-trained bundle
+			}
+			res := pet.Run(s)
+			fmt.Printf("  %6.2f", res.MiceBkt.AvgSlowdown)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(lower is better; with enough training the ordering approaches")
+	fmt.Println("PET <= ACC < SECN1 < SECN2 — see cmd/petbench for the full protocol)")
+}

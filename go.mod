@@ -1,0 +1,3 @@
+module pet
+
+go 1.22

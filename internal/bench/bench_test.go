@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"strings"
+
+	"pet/internal/stats"
+	"testing"
+
+	"pet/internal/sim"
+	"pet/internal/workload"
+)
+
+// quickRunner keeps harness tests fast: short windows, one load.
+func quickRunner() *Runner {
+	r := NewRunner()
+	r.Loads = []float64{0.5}
+	r.TrainTime = 5 * sim.Millisecond
+	r.Warmup = 5 * sim.Millisecond
+	r.Duration = 10 * sim.Millisecond
+	return r
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bbbb"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "2")
+	tb.Note("note %d", 7)
+	out := tb.String()
+	for _, want := range []string{"== T ==", "a", "bbbb", "longer", "# note 7", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStaticSchemeProducesStats(t *testing.T) {
+	res := Run(Scenario{
+		Scheme:   SchemeSECN1,
+		Load:     0.5,
+		Warmup:   5 * sim.Millisecond,
+		Duration: 15 * sim.Millisecond,
+	})
+	if res.FlowsDone == 0 {
+		t.Fatal("no flows completed")
+	}
+	if res.Overall.AvgSlowdown < 1 {
+		t.Fatalf("avg slowdown %v < 1 (faster than ideal?)", res.Overall.AvgSlowdown)
+	}
+	if res.LatencyAvgUs <= 0 || res.LatencyP99Us < res.LatencyAvgUs {
+		t.Fatalf("latency stats avg=%v p99=%v", res.LatencyAvgUs, res.LatencyP99Us)
+	}
+	if res.QueueAvgKB < 0 {
+		t.Fatalf("queue avg %v", res.QueueAvgKB)
+	}
+	if res.ReplayBytesExchanged != 0 {
+		t.Fatal("static scheme reported replay exchange")
+	}
+}
+
+func TestRunPETAndACCSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{SchemePET, SchemePETAblated, SchemeACC, SchemeAMT, SchemeQAECN} {
+		res := Run(Scenario{
+			Scheme:   scheme,
+			Train:    true,
+			Load:     0.5,
+			Warmup:   5 * sim.Millisecond,
+			Duration: 10 * sim.Millisecond,
+		})
+		if res.FlowsDone == 0 {
+			t.Fatalf("%s: no flows completed", scheme)
+		}
+		if scheme == SchemeACC && res.ReplayBytesExchanged == 0 {
+			t.Fatal("ACC global replay idle")
+		}
+	}
+}
+
+func TestDCTCPTransportScenario(t *testing.T) {
+	res := Run(Scenario{
+		Scheme:    SchemePET,
+		Train:     true,
+		Transport: TransportDCTCP,
+		Load:      0.5,
+		Warmup:    5 * sim.Millisecond,
+		Duration:  15 * sim.Millisecond,
+	})
+	if res.FlowsDone == 0 {
+		t.Fatal("no flows completed over DCTCP")
+	}
+	if res.LatencyAvgUs <= 0 {
+		t.Fatal("no latency samples over DCTCP")
+	}
+	if res.Overall.AvgSlowdown < 1 {
+		t.Fatalf("slowdown %v < 1", res.Overall.AvgSlowdown)
+	}
+}
+
+func TestRunCTDEScheme(t *testing.T) {
+	res := Run(Scenario{
+		Scheme:             SchemePETCTDE,
+		Train:              true,
+		TrainDuringMeasure: true,
+		Load:               0.5,
+		Warmup:             5 * sim.Millisecond,
+		Duration:           10 * sim.Millisecond,
+	})
+	if res.FlowsDone == 0 {
+		t.Fatal("no flows under CTDE")
+	}
+	if res.CentralBytesCollected == 0 {
+		t.Fatal("CTDE observation shipping not metered")
+	}
+}
+
+func TestPretrainedModelsLoadable(t *testing.T) {
+	models := PretrainPET(Scenario{Load: 0.5}, 5*sim.Millisecond)
+	if len(models) == 0 {
+		t.Fatal("empty model bundle")
+	}
+	res := Run(Scenario{
+		Scheme:   SchemePET,
+		Models:   models,
+		Train:    true,
+		Load:     0.5,
+		Warmup:   2 * sim.Millisecond,
+		Duration: 8 * sim.Millisecond,
+	})
+	if res.FlowsDone == 0 {
+		t.Fatal("pretrained run produced no flows")
+	}
+}
+
+func TestEventsFire(t *testing.T) {
+	fired := false
+	Run(Scenario{
+		Scheme:   SchemeSECN1,
+		Load:     0.3,
+		Warmup:   2 * sim.Millisecond,
+		Duration: 6 * sim.Millisecond,
+		Events: []Event{{
+			At: 4 * sim.Millisecond,
+			Do: func(e *Env) {
+				fired = true
+				e.Gen.SetWorkload(workload.DataMining(), 0.3)
+			},
+		}},
+	})
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestLinkFailureEventDisruptsAndRecovers(t *testing.T) {
+	res := Run(Scenario{
+		Scheme:       SchemeSECN1,
+		Load:         0.4,
+		Warmup:       2 * sim.Millisecond,
+		Duration:     20 * sim.Millisecond,
+		SeriesWindow: 2 * sim.Millisecond,
+		Events: []Event{
+			{At: 6 * sim.Millisecond, Do: func(e *Env) {
+				e.Net.SetLinksUp(pickFabricLinks(e, 0.3), false)
+			}},
+			{At: 12 * sim.Millisecond, Do: func(e *Env) {
+				e.Net.SetLinksUp(pickFabricLinks(e, 0.3), true)
+			}},
+		},
+	})
+	if res.FlowsDone == 0 {
+		t.Fatal("no flows after failure/recovery")
+	}
+	if res.Series["all"] == nil {
+		t.Fatal("series not collected")
+	}
+}
+
+func TestRunnerCachesRuns(t *testing.T) {
+	r := quickRunner()
+	ws := workload.WebSearch()
+	r.run(SchemeSECN1, ws, 0.5)
+	n := len(r.cache)
+	r.run(SchemeSECN1, ws, 0.5)
+	if len(r.cache) != n {
+		t.Fatal("cache miss on repeat run")
+	}
+}
+
+func TestFig3Table(t *testing.T) {
+	tb := NewRunner().Fig3()
+	if len(tb.Rows) != 8 {
+		t.Fatalf("Fig3 rows = %d", len(tb.Rows))
+	}
+	out := tb.String()
+	if !strings.Contains(out, "WebSearch") || !strings.Contains(out, "DataMining") {
+		t.Fatal("Fig3 missing workloads")
+	}
+}
+
+func TestFig9AblationTable(t *testing.T) {
+	r := quickRunner()
+	tb := r.Fig9()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("Fig9 rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != string(SchemePET) || tb.Rows[1][0] != string(SchemePETAblated) {
+		t.Fatalf("Fig9 schemes = %v / %v", tb.Rows[0][0], tb.Rows[1][0])
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := quickRunner()
+	tb := r.Table1()
+	if len(tb.Rows) != 2 || len(tb.Columns) != 5 {
+		t.Fatalf("Table1 shape: %d rows × %d cols", len(tb.Rows), len(tb.Columns))
+	}
+	if tb.Rows[0][0] != "Average" || tb.Rows[1][0] != "Variance" {
+		t.Fatal("Table1 row labels wrong")
+	}
+}
+
+func TestAblationReplayOverheadTable(t *testing.T) {
+	r := quickRunner()
+	tb := r.AblationReplayOverhead()
+	if tb.Rows[0][1] != "0" {
+		t.Fatalf("PET exchange = %s, want 0", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] == "0" {
+		t.Fatal("ACC exchange reported as 0")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow("x", "1,5") // embedded comma must be quoted
+	tb.Note("n")
+	csv := tb.CSV()
+	want := "# T\na,b\nx,\"1,5\"\n# n\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestIdealPathDelaySlowdownsAtLeastOne(t *testing.T) {
+	// On an idle fabric every completed flow must have slowdown ≥ ~1
+	// (small pacing slack allowed), for both intra- and cross-leaf pairs.
+	env := NewEnv(Scenario{
+		Scheme:   SchemeSECN1,
+		Load:     0.05, // nearly idle
+		Warmup:   2 * sim.Millisecond,
+		Duration: 30 * sim.Millisecond,
+	})
+	res := env.Run()
+	if res.FlowsDone == 0 {
+		t.Fatal("no flows")
+	}
+	for _, rec := range env.Collector.Records() {
+		if rec.Slowdown < 0.99 {
+			t.Fatalf("slowdown %v < 1 for size %d", rec.Slowdown, rec.Size)
+		}
+	}
+}
+
+func TestTraceCollection(t *testing.T) {
+	env := NewEnv(Scenario{
+		Scheme:   SchemePET,
+		Train:    true,
+		Load:     0.4,
+		Warmup:   2 * sim.Millisecond,
+		Duration: 6 * sim.Millisecond,
+		Trace:    true,
+	})
+	env.Run()
+	if env.Trace.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	kinds := map[string]bool{}
+	for _, e := range env.Trace.Events() {
+		kinds[string(e.Kind)] = true
+	}
+	for _, want := range []string{"flow_start", "flow_done", "ecn_change"} {
+		if !kinds[want] {
+			t.Fatalf("trace missing %q events (have %v)", want, kinds)
+		}
+	}
+}
+
+func TestMergeResultsSkipsEmptyBuckets(t *testing.T) {
+	a := Result{Overall: stats.Summary{N: 10, AvgSlowdown: 4}, Elephant: stats.Summary{N: 2, AvgSlowdown: 2}}
+	b := Result{Overall: stats.Summary{N: 8, AvgSlowdown: 6}, Elephant: stats.Summary{}} // no elephants this seed
+	m := mergeResults([]Result{a, b})
+	if m.Overall.AvgSlowdown != 5 {
+		t.Fatalf("overall merged = %v, want 5", m.Overall.AvgSlowdown)
+	}
+	// The empty-elephant seed must not drag the average to 1.
+	if m.Elephant.AvgSlowdown != 2 {
+		t.Fatalf("elephant merged = %v, want 2", m.Elephant.AvgSlowdown)
+	}
+	if m.Elephant.N != 2 || m.Overall.N != 18 {
+		t.Fatalf("counts = %d/%d", m.Elephant.N, m.Overall.N)
+	}
+	// All-empty bucket merges to zero.
+	c := mergeResults([]Result{{}, {}})
+	if c.Elephant.AvgSlowdown != 0 {
+		t.Fatalf("all-empty merge = %v", c.Elephant.AvgSlowdown)
+	}
+}
+
+func TestUnknownSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown scheme accepted")
+		}
+	}()
+	Run(Scenario{Scheme: "nope"})
+}

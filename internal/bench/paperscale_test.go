@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// TestPaperScaleSmoke assembles the paper's full 288-host fabric with a PET
+// controller on all 18 switches and runs a brief light-load slice — enough
+// to verify the system composes and steps at the paper's dimensions.
+func TestPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale smoke skipped in -short")
+	}
+	env := NewEnv(Scenario{
+		Topo:               topo.PaperScale(),
+		Scheme:             SchemePET,
+		Train:              true,
+		TrainDuringMeasure: true,
+		Load:               0.1,
+		Warmup:             500 * sim.Microsecond,
+		Duration:           1500 * sim.Microsecond,
+	})
+	if got := len(env.PET.Agents()); got != 18 {
+		t.Fatalf("agents = %d, want 18 (12 leaves + 6 spines)", got)
+	}
+	res := env.Run()
+	if res.FlowsDone == 0 {
+		t.Fatal("no flows completed at paper scale")
+	}
+	stepped := 0
+	for _, a := range env.PET.Agents() {
+		if a.Steps() > 0 {
+			stepped++
+		}
+	}
+	if stepped != 18 {
+		t.Fatalf("only %d/18 agents stepped", stepped)
+	}
+}

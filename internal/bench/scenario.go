@@ -1,0 +1,513 @@
+// Package bench is the experiment harness: it assembles topology, network,
+// transport, workload and an ECN control scheme into one runnable scenario,
+// collects the paper's metrics (FCT buckets, per-packet latency, queue
+// statistics, time series), and regenerates every table and figure of the
+// evaluation section as printable text tables.
+package bench
+
+import (
+	"fmt"
+
+	"pet/internal/acc"
+	"pet/internal/core"
+	"pet/internal/dcqcn"
+	"pet/internal/dctcp"
+	"pet/internal/dynecn"
+	"pet/internal/netsim"
+	"pet/internal/rl/ppo"
+	"pet/internal/sim"
+	"pet/internal/staticecn"
+	"pet/internal/stats"
+	"pet/internal/topo"
+	"pet/internal/trace"
+	"pet/internal/workload"
+)
+
+// Scheme selects the ECN control strategy under test.
+type Scheme string
+
+// The compared schemes (Sec. 5.4) plus the Fig. 9 ablation variant.
+const (
+	SchemePET        Scheme = "PET"
+	SchemePETAblated Scheme = "PET-ablated" // incast & M/E-ratio states removed
+	SchemeACC        Scheme = "ACC"
+	SchemeSECN1      Scheme = "SECN1" // DCQCN static 5/200 KB
+	SchemeSECN2      Scheme = "SECN2" // HPCC static 100/400 KB
+
+	// Rule-based dynamic schemes from the paper's related work (Sec. 2.2),
+	// beyond the paper's own comparison set.
+	SchemeAMT   Scheme = "AMT"   // link-utilization-driven threshold
+	SchemeQAECN Scheme = "QAECN" // instantaneous-queue-driven threshold
+
+	// SchemePETCTDE is the centralized-training (MAPPO) alternative the
+	// paper rejects in Sec. 4.1.2, for measuring the DTDE-vs-CTDE trade-off.
+	SchemePETCTDE Scheme = "PET-CTDE"
+)
+
+// AllSchemes lists the paper's four compared schemes.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemePET, SchemeACC, SchemeSECN1, SchemeSECN2}
+}
+
+// Event is a scheduled perturbation (traffic switch, link failure, …).
+type Event struct {
+	At sim.Time
+	Do func(*Env)
+}
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	Topo topo.LeafSpineConfig
+	Seed int64
+
+	Workload       *workload.CDF
+	Load           float64
+	IncastFraction float64
+	IncastFanIn    int
+
+	Scheme Scheme
+	Beta1  float64 // reward weights; zero → (0.3, 0.7)
+	Beta2  float64
+	Train  bool   // online incremental training during warmup
+	Models []byte // optional offline-pretrained PET model bundle
+
+	// TrainDuringMeasure keeps online training (and therefore exploratory
+	// action sampling) enabled inside the measurement window. Off by
+	// default: DTDE's "decentralized execution" is deterministic. The
+	// dynamic experiments (Fig. 6/7) turn it on, since live adaptation is
+	// exactly what they measure.
+	TrainDuringMeasure bool
+
+	Warmup   sim.Time // stats discarded before this point
+	Duration sim.Time // measurement window after warmup
+
+	// HistoryK overrides PET's state history depth (ablation); 0 = default.
+	HistoryK int
+
+	Events []Event
+
+	// SeriesWindow, when nonzero, enables FCT time-series collection.
+	SeriesWindow sim.Time
+
+	// Trace, when true, records flow lifecycle, ECN reconfigurations and
+	// link-state changes into Env.Trace for CSV export.
+	Trace bool
+
+	// Transport selects the end-host stack (default DCQCN). PET requires
+	// no server-side changes, so any ECN-reacting transport plugs in.
+	Transport TransportKind
+}
+
+// TransportKind selects the end-host congestion control.
+type TransportKind string
+
+// Supported transports.
+const (
+	TransportDCQCN TransportKind = "dcqcn" // rate-based, RDMA (default)
+	TransportDCTCP TransportKind = "dctcp" // window-based, TCP
+)
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Topo.Spines == 0 {
+		s.Topo = topo.TinyScale()
+	}
+	if s.Workload == nil {
+		s.Workload = workload.WebSearch()
+	}
+	if s.Load == 0 {
+		s.Load = 0.6
+	}
+	if s.Beta1 == 0 && s.Beta2 == 0 {
+		s.Beta1, s.Beta2 = 0.3, 0.7
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 20 * sim.Millisecond
+	}
+	if s.Duration == 0 {
+		s.Duration = 60 * sim.Millisecond
+	}
+	return s
+}
+
+// controlAlpha is the Eq. (5) scale parameter used on the scaled-down
+// fabrics: α=2 spans 2 KB–1 MB, proportionate to 10–40 Gbps links the same
+// way the paper's α=20 spans its 25–100 Gbps fabric.
+const controlAlpha = 2
+
+// Env is a fully assembled, running scenario.
+type Env struct {
+	Scenario Scenario
+	Eng      *sim.Engine
+	LS       *topo.LeafSpine
+	Net      *netsim.Network
+	Tr       *dcqcn.Transport // nil when Transport is DCTCP
+	TrDCTCP  *dctcp.Transport // nil when Transport is DCQCN
+	Gen      *workload.Generator
+
+	PET  *core.Controller     // nil unless Scheme is PET/PET-ablated
+	CTDE *core.CTDEController // nil unless Scheme is PET-CTDE
+	ACC  *acc.Controller      // nil unless Scheme is ACC
+
+	Collector *stats.FCTCollector
+	Latency   *stats.Sample  // one-way data-packet delay, µs
+	QueueKB   *stats.Welford // sampled per-port queue occupancy, KB
+	Series    map[string]*stats.TimeSeries
+	Trace     *trace.Recorder // nil unless Scenario.Trace
+	measuring bool
+	flowMeta  map[netsim.FlowID]workload.FlowMeta
+	hostRate  float64
+	queueTick *sim.Ticker
+}
+
+// idealPathDelay estimates the size-independent part of an idle fabric's
+// FCT for the pair: one-way propagation along the actual path plus the
+// store-and-forward of the final packet at each intermediate hop. Added to
+// the bottleneck serialization (size at the host rate) this lower-bounds
+// the achievable FCT, so slowdowns are ≥ 1 up to pacing granularity.
+func (e *Env) idealPathDelay(src, dst topo.NodeID, size int64) sim.Time {
+	cfg := e.Scenario.Topo
+	last := int(size)
+	if mtu := e.Net.Config().MTU; last > mtu {
+		last = mtu
+	}
+	if e.LS.LeafOf(src) == e.LS.LeafOf(dst) {
+		return 2*cfg.HostDelay + sim.TransmitTime(last, cfg.HostLinkBps)
+	}
+	return 2*cfg.HostDelay + 2*cfg.UplinkDelay +
+		2*sim.TransmitTime(last, cfg.UplinkBps) +
+		sim.TransmitTime(last, cfg.HostLinkBps)
+}
+
+// NewEnv assembles a scenario without running it.
+func NewEnv(s Scenario) *Env {
+	s = s.withDefaults()
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(s.Topo)
+	net := netsim.New(eng, ls.Graph, s.Seed, netsim.Config{BufferPerQueue: 4 << 20})
+
+	e := &Env{
+		Scenario:  s,
+		Eng:       eng,
+		LS:        ls,
+		Net:       net,
+		Collector: &stats.FCTCollector{},
+		Latency:   &stats.Sample{},
+		QueueKB:   &stats.Welford{},
+		Series:    map[string]*stats.TimeSeries{},
+		flowMeta:  map[netsim.FlowID]workload.FlowMeta{},
+		hostRate:  s.Topo.HostLinkBps,
+	}
+	if s.Trace {
+		e.Trace = trace.NewRecorder(1 << 20)
+	}
+
+	// onDone and onData are transport-agnostic collection hooks.
+	onDone := func(id netsim.FlowID, src, dst topo.NodeID, size int64, fct sim.Time, finishedAt sim.Time) {
+		meta := e.flowMeta[id]
+		delete(e.flowMeta, id)
+		e.Trace.Record(eng.Now(), trace.FlowDone,
+			trace.F("flow", id), trace.F("fct_us", fct.Microseconds()))
+		if !e.measuring {
+			return
+		}
+		ideal := stats.IdealFCT(size, e.hostRate, e.idealPathDelay(src, dst, size))
+		rec := stats.FCTRecord{
+			Size:     size,
+			FCT:      fct,
+			Slowdown: float64(fct) / float64(ideal),
+			Incast:   meta.Incast,
+			At:       finishedAt,
+		}
+		e.Collector.Record(rec)
+		if s.SeriesWindow > 0 {
+			e.addSeries(rec)
+		}
+	}
+	onData := func(pkt *netsim.Packet, d sim.Time) {
+		if e.measuring {
+			e.Latency.Add(d.Microseconds())
+		}
+	}
+
+	var startFlow func(src, dst topo.NodeID, size int64) netsim.FlowID
+	switch s.Transport {
+	case TransportDCQCN, "":
+		tr := dcqcn.NewTransport(net, dcqcn.Config{})
+		e.Tr = tr
+		tr.OnFlowComplete(func(f *dcqcn.Flow) {
+			onDone(f.ID, f.Src, f.Dst, f.Size, f.FCT(), f.FinishedAt)
+		})
+		tr.OnDataDelivered(onData)
+		startFlow = func(src, dst topo.NodeID, size int64) netsim.FlowID {
+			return tr.StartFlow(src, dst, size, 0).ID
+		}
+	case TransportDCTCP:
+		tr := dctcp.NewTransport(net, dctcp.Config{})
+		e.TrDCTCP = tr
+		tr.OnFlowComplete(func(f *dctcp.Flow) {
+			onDone(f.ID, f.Src, f.Dst, f.Size, f.FCT(), f.FinishedAt)
+		})
+		tr.OnDataDelivered(onData)
+		startFlow = func(src, dst topo.NodeID, size int64) netsim.FlowID {
+			return tr.StartFlow(src, dst, size, 0).ID
+		}
+	default:
+		panic(fmt.Sprintf("bench: unknown transport %q", s.Transport))
+	}
+
+	e.Gen = workload.NewGenerator(eng, workload.Config{
+		Hosts:          ls.Hosts,
+		HostRateBps:    s.Topo.HostLinkBps,
+		CDF:            s.Workload,
+		Load:           s.Load,
+		IncastFraction: s.IncastFraction,
+		IncastFanIn:    s.IncastFanIn,
+	}, s.Seed, func(src, dst topo.NodeID, size int64, meta workload.FlowMeta) {
+		id := startFlow(src, dst, size)
+		e.flowMeta[id] = meta
+		e.Trace.Record(eng.Now(), trace.FlowStart,
+			trace.F("flow", id), trace.F("src", src), trace.F("dst", dst),
+			trace.F("size", size), trace.F("incast", meta.Incast))
+	})
+
+	e.installScheme()
+	return e
+}
+
+// addSeries folds a completed flow into the mice/elephant/all time series.
+func (e *Env) addSeries(rec stats.FCTRecord) {
+	add := func(name string) {
+		ts := e.Series[name]
+		if ts == nil {
+			ts = stats.NewTimeSeries(e.Scenario.SeriesWindow)
+			e.Series[name] = ts
+		}
+		// Series time is relative to measurement start so schemes with
+		// different warmups stay comparable.
+		ts.Add(rec.At-e.Scenario.Warmup, rec.Slowdown)
+	}
+	add("all")
+	if stats.Mice(rec) {
+		add("mice")
+	}
+	if stats.Elephant(rec) {
+		add("elephant")
+	}
+}
+
+// petConfig translates a scenario into the PET controller configuration
+// shared by the DTDE and CTDE variants: a short-horizon training budget
+// (frequent small updates, more epochs per trajectory, short
+// credit-assignment horizon — queue dynamics respond to a threshold change
+// within a few intervals).
+// petTrainKnobs centralizes the IPPO training-budget knobs so the
+// calibration tests can sweep them; see petConfig for the rationale.
+var petTrainKnobs = struct {
+	UpdateEvery int
+	PPO         ppo.Config
+}{
+	UpdateEvery: 64,
+	PPO: ppo.Config{
+		Epochs:    4,
+		Minibatch: 32,
+		Gamma:     0.9,
+		Lambda:    0.9,
+	},
+}
+
+func (e *Env) petConfig(s Scenario) core.Config {
+	return core.Config{
+		OnApply: func(sw topo.NodeID, cfg netsim.ECNConfig) {
+			e.Trace.Record(e.Eng.Now(), trace.ECNChange,
+				trace.F("switch", sw), trace.F("kmin", cfg.KminBytes),
+				trace.F("kmax", cfg.KmaxBytes), trace.F("pmax", cfg.Pmax))
+		},
+		Alpha:              controlAlpha,
+		Interval:           100 * sim.Microsecond,
+		Beta1:              s.Beta1,
+		Beta2:              s.Beta2,
+		Train:              s.Train,
+		HistoryK:           s.HistoryK,
+		Seed:               s.Seed,
+		DisableIncastState: s.Scheme == SchemePETAblated,
+		DisableRatioState:  s.Scheme == SchemePETAblated,
+		UpdateEvery:        petTrainKnobs.UpdateEvery,
+		PPO:                petTrainKnobs.PPO,
+	}
+}
+
+// installScheme wires the selected ECN control strategy.
+func (e *Env) installScheme() {
+	s := e.Scenario
+	switch s.Scheme {
+	case SchemeSECN1, "":
+		staticecn.Apply(e.Net, 0, staticecn.SECN1())
+	case SchemeSECN2:
+		staticecn.Apply(e.Net, 0, staticecn.SECN2())
+	case SchemeAMT:
+		dynecn.NewAMT(e.Net, dynecn.AMTConfig{}).Start()
+	case SchemeQAECN:
+		dynecn.NewQAECN(e.Net, dynecn.QAECNConfig{}).Start()
+	case SchemePET, SchemePETAblated:
+		e.PET = core.NewController(e.Net, e.petConfig(s))
+		if len(s.Models) > 0 {
+			if err := e.PET.LoadModels(s.Models); err != nil {
+				panic(fmt.Sprintf("bench: loading PET models: %v", err))
+			}
+		}
+		e.PET.Start()
+	case SchemePETCTDE:
+		e.CTDE = core.NewCTDEController(e.Net, e.petConfig(s))
+		e.CTDE.Start()
+	case SchemeACC:
+		cfg := acc.Config{
+			Alpha:        controlAlpha,
+			Interval:     100 * sim.Microsecond,
+			Omega1:       s.Beta1,
+			Omega2:       s.Beta2,
+			Train:        s.Train,
+			GlobalReplay: true,
+			Seed:         s.Seed,
+			OnApply: func(sw topo.NodeID, cfg netsim.ECNConfig) {
+				e.Trace.Record(e.Eng.Now(), trace.ECNChange,
+					trace.F("switch", sw), trace.F("kmin", cfg.KminBytes),
+					trace.F("kmax", cfg.KmaxBytes), trace.F("pmax", cfg.Pmax))
+			},
+		}
+		e.ACC = acc.NewController(e.Net, cfg)
+		e.ACC.Start()
+	default:
+		panic(fmt.Sprintf("bench: unknown scheme %q", s.Scheme))
+	}
+}
+
+// Run executes warmup then the measurement window, applying events.
+func (e *Env) Run() Result {
+	s := e.Scenario
+	for _, ev := range s.Events {
+		ev := ev
+		e.Eng.At(ev.At, func() { ev.Do(e) })
+	}
+	// Queue sampling at a fine cadence, mirroring the paper's Table I.
+	e.queueTick = sim.NewTicker(e.Eng, 50*sim.Microsecond, func(sim.Time) {
+		if !e.measuring {
+			return
+		}
+		for _, p := range e.Net.SwitchPorts() {
+			e.QueueKB.Add(float64(p.QueueBytes()) / 1024)
+		}
+	})
+
+	e.Gen.Start()
+	e.Eng.RunUntil(s.Warmup)
+	e.measuring = true
+	if s.Train && !s.TrainDuringMeasure {
+		// Switch from online training to decentralized execution. The CTDE
+		// variant keeps training: centralized training cannot be paused
+		// without abandoning its premise, and its collection overhead
+		// during operation is part of what the comparison measures.
+		if e.PET != nil {
+			e.PET.SetTrain(false)
+		}
+		if e.ACC != nil {
+			e.ACC.SetTrain(false)
+		}
+	}
+	e.Eng.RunUntil(s.Warmup + s.Duration)
+	e.measuring = false
+	return e.result()
+}
+
+// Result summarizes one completed run.
+type Result struct {
+	Scheme Scheme
+	Load   float64
+
+	Overall  stats.Summary
+	MiceBkt  stats.Summary
+	Elephant stats.Summary
+	Incast   stats.Summary
+
+	LatencyAvgUs float64
+	LatencyP99Us float64
+
+	QueueAvgKB float64
+	QueueVarKB float64
+
+	FlowsDone int
+	Drops     uint64
+
+	// Overhead metrics (zero unless the scheme incurs them).
+	ReplayBytesExchanged  int64 // ACC's global replay gossip
+	ReplayMemoryBytes     int64 // ACC's resident replay copies
+	CentralBytesCollected int64 // CTDE's observation shipping
+
+	Series map[string]*stats.TimeSeries
+}
+
+func (e *Env) result() Result {
+	var drops uint64
+	for _, p := range e.Net.SwitchPorts() {
+		st := p.Stats()
+		drops += st.DropsOverflow + st.DropsLinkDown
+	}
+	r := Result{
+		Scheme:       e.Scenario.Scheme,
+		Load:         e.Scenario.Load,
+		Overall:      e.Collector.Summarize(stats.All),
+		MiceBkt:      e.Collector.Summarize(stats.Mice),
+		Elephant:     e.Collector.Summarize(stats.Elephant),
+		Incast:       e.Collector.Summarize(stats.Incast),
+		LatencyAvgUs: e.Latency.Mean(),
+		LatencyP99Us: e.Latency.Percentile(0.99),
+		QueueAvgKB:   e.QueueKB.Mean(),
+		QueueVarKB:   e.QueueKB.Var(),
+		FlowsDone:    e.Collector.N(),
+		Drops:        drops,
+		Series:       e.Series,
+	}
+	if e.ACC != nil {
+		r.ReplayBytesExchanged = e.ACC.BytesExchanged()
+		r.ReplayMemoryBytes = e.ACC.ReplayMemoryBytes()
+	}
+	if e.CTDE != nil {
+		r.CentralBytesCollected = e.CTDE.BytesCollected()
+	}
+	return r
+}
+
+// SetLinksUp changes link states with routing recompute and trace records.
+// Event hooks should prefer this over Net.SetLinksUp so failures appear in
+// exported traces.
+func (e *Env) SetLinksUp(links []topo.LinkID, up bool) {
+	e.Net.SetLinksUp(links, up)
+	for _, l := range links {
+		e.Trace.Record(e.Eng.Now(), trace.LinkChange, trace.F("link", l), trace.F("up", up))
+	}
+}
+
+// Run assembles and executes a scenario in one call.
+func Run(s Scenario) Result { return NewEnv(s).Run() }
+
+// PretrainPET runs the offline training phase (Sec. 4.4.1): a training-only
+// simulation on the scenario's fabric and workload whose learned models are
+// returned for deployment in subsequent (online) runs.
+func PretrainPET(s Scenario, dur sim.Time) []byte {
+	s = s.withDefaults()
+	if s.Scheme != SchemePETAblated {
+		s.Scheme = SchemePET
+	}
+	s.Train = true
+	s.Models = nil
+	s.Warmup = 0
+	s.Duration = dur
+	s.Events = nil
+	env := NewEnv(s)
+	env.Gen.Start()
+	env.Eng.RunUntil(dur)
+	data, err := env.PET.EncodeModels()
+	if err != nil {
+		panic(fmt.Sprintf("bench: encoding pretrained models: %v", err))
+	}
+	return data
+}

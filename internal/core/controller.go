@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"pet/internal/netsim"
+	"pet/internal/rng"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// Controller is the PET multi-agent system over one network: one
+// independent SwitchAgent per switch (DTDE), each driving the ECN
+// configuration of that switch's egress queues every Δt.
+type Controller struct {
+	cfg    Config
+	net    *netsim.Network
+	agents []*SwitchAgent
+
+	started bool
+	tickers []*sim.Ticker
+}
+
+// NewController builds one agent per switch. Agents are seeded
+// independently from cfg.Seed.
+func NewController(net *netsim.Network, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{cfg: cfg, net: net}
+
+	byOwner := make(map[topo.NodeID][]*netsim.Port)
+	for _, p := range net.SwitchPorts() {
+		byOwner[p.Owner()] = append(byOwner[p.Owner()], p)
+	}
+	switches := make([]topo.NodeID, 0, len(byOwner))
+	for sw := range byOwner {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+
+	root := rng.New(cfg.Seed)
+	for _, sw := range switches {
+		seed := root.SplitN("agent", int(sw)).Seed()
+		c.agents = append(c.agents, newSwitchAgent(sw, byOwner[sw], cfg, seed))
+	}
+	return c
+}
+
+// Config returns the effective configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Agents returns the per-switch agents in NodeID order.
+func (c *Controller) Agents() []*SwitchAgent { return c.agents }
+
+// Start arms the periodic machinery: the fine-grained queue sampler, the
+// per-Δt tuning tick, and the NCM scheduled cleanup.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	eng := c.net.Engine()
+
+	samplePeriod := c.cfg.Interval / sim.Time(c.cfg.QueueSampleDiv)
+	if samplePeriod <= 0 {
+		samplePeriod = c.cfg.Interval
+	}
+	c.tickers = append(c.tickers, sim.NewTicker(eng, samplePeriod, func(sim.Time) {
+		for _, a := range c.agents {
+			a.ncm.SampleQueues()
+		}
+	}))
+	c.tickers = append(c.tickers, sim.NewTicker(eng, c.cfg.Interval, func(sim.Time) {
+		for _, a := range c.agents {
+			a.Tick()
+		}
+	}))
+	c.tickers = append(c.tickers, sim.NewTicker(eng, c.cfg.CleanupInterval, func(sim.Time) {
+		for _, a := range c.agents {
+			a.ncm.ScheduledCleanup()
+		}
+	}))
+}
+
+// Stop cancels the periodic machinery.
+func (c *Controller) Stop() {
+	for _, t := range c.tickers {
+		t.Stop()
+	}
+	c.tickers = nil
+	c.started = false
+}
+
+// SetTrain toggles online incremental training on every agent.
+func (c *Controller) SetTrain(on bool) {
+	for _, a := range c.agents {
+		a.SetTrain(on)
+	}
+}
+
+// TotalUpdates sums completed IPPO updates across agents.
+func (c *Controller) TotalUpdates() int {
+	n := 0
+	for _, a := range c.agents {
+		n += a.updates
+	}
+	return n
+}
+
+// MeanReward averages the per-agent mean rewards.
+func (c *Controller) MeanReward() float64 {
+	if len(c.agents) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range c.agents {
+		sum += a.MeanReward()
+	}
+	return sum / float64(len(c.agents))
+}
+
+// modelBundle is the gob wire format of saved per-switch models.
+type modelBundle struct {
+	Models map[int][]byte // keyed by switch NodeID
+}
+
+// EncodeModels serializes every agent's networks — the artifact the
+// offline pre-training phase ships to switches (Sec. 4.4.1).
+func (c *Controller) EncodeModels() ([]byte, error) {
+	b := modelBundle{Models: make(map[int][]byte, len(c.agents))}
+	for _, a := range c.agents {
+		data, err := a.agent.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding agent %d: %w", a.Switch, err)
+		}
+		b.Models[int(a.Switch)] = data
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(b)
+	return buf.Bytes(), err
+}
+
+// LoadModels restores agent networks saved by EncodeModels. Agents without
+// a matching entry keep their current weights. The architecture (ObsDim,
+// Heads, Hidden) must match.
+func (c *Controller) LoadModels(data []byte) error {
+	var b modelBundle
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
+		return fmt.Errorf("core: decoding model bundle: %w", err)
+	}
+	for _, a := range c.agents {
+		m, ok := b.Models[int(a.Switch)]
+		if !ok {
+			continue
+		}
+		if err := a.agent.RestoreFrom(m); err != nil {
+			return fmt.Errorf("core: restoring agent %d: %w", a.Switch, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"pet/internal/sim"
+)
+
+func TestCTDEControllerRunsAndLearns(t *testing.T) {
+	f := newFixture(t, 21)
+	ctl := NewCTDEController(f.net, testConfig())
+	if len(ctl.Agents()) != 4 {
+		t.Fatalf("agents = %d", len(ctl.Agents()))
+	}
+	ctl.Start()
+	f.gen.Start()
+	f.eng.RunUntil(30 * sim.Millisecond)
+
+	if ctl.Updates() == 0 {
+		t.Fatal("no centralized updates ran")
+	}
+	if ctl.BytesCollected() == 0 {
+		t.Fatal("central observation collection not metered")
+	}
+	for _, a := range ctl.Agents() {
+		if a.Steps() == 0 {
+			t.Fatalf("agent %d idle", a.Switch)
+		}
+		cur := a.CurrentECN()
+		if !cur.Enabled || cur.KminBytes >= cur.KmaxBytes {
+			t.Fatalf("agent %d invalid ECN %+v", a.Switch, cur)
+		}
+	}
+	if r := ctl.MeanReward(); r <= 0 || r > 1.0001 {
+		t.Fatalf("mean reward %v", r)
+	}
+}
+
+func TestCTDEObservationVolumeScalesWithAgents(t *testing.T) {
+	f := newFixture(t, 22)
+	cfg := testConfig()
+	ctl := NewCTDEController(f.net, cfg)
+	ctl.Start()
+	f.gen.Start()
+	f.eng.RunUntil(10 * sim.Millisecond)
+	got := ctl.BytesCollected()
+	// Every post-warmup interval ships ObsDim×8 bytes per agent.
+	c := cfg.withDefaults()
+	perTick := int64(8 * c.ObsDim() * len(ctl.Agents()))
+	if got%perTick != 0 {
+		t.Fatalf("collected %d not a multiple of per-tick %d", got, perTick)
+	}
+	if got < 10*perTick {
+		t.Fatalf("collected only %d bytes over 10ms", got)
+	}
+}
+
+func TestCTDEExecuteOnlyNoCollection(t *testing.T) {
+	f := newFixture(t, 23)
+	cfg := testConfig()
+	cfg.Train = false
+	ctl := NewCTDEController(f.net, cfg)
+	ctl.Start()
+	f.gen.Start()
+	f.eng.RunUntil(10 * sim.Millisecond)
+	if ctl.Updates() != 0 {
+		t.Fatal("updates ran with Train=false")
+	}
+	if ctl.BytesCollected() != 0 {
+		t.Fatal("execution-only CTDE still collected observations")
+	}
+}
+
+func TestCTDEStop(t *testing.T) {
+	f := newFixture(t, 24)
+	ctl := NewCTDEController(f.net, testConfig())
+	ctl.Start()
+	f.gen.Start()
+	f.eng.RunUntil(5 * sim.Millisecond)
+	steps := ctl.Agents()[0].Steps()
+	ctl.Stop()
+	f.eng.RunUntil(15 * sim.Millisecond)
+	if ctl.Agents()[0].Steps() != steps {
+		t.Fatal("agent stepped after Stop")
+	}
+}

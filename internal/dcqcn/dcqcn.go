@@ -1,0 +1,352 @@
+// Package dcqcn implements the DCQCN congestion-control transport
+// (Zhu et al., SIGCOMM 2015) over the netsim packet network.
+//
+// DCQCN is the end-host rate control used in the paper's RDMA testbed: the
+// switch marks packets with CE above the (PET-tuned) ECN threshold, the
+// receiver echoes congestion as CNPs at most once per interval, and the
+// sender runs the α-based multiplicative-decrease / staged-increase state
+// machine. Reliability is go-back-N, matching RoCE NIC behaviour.
+package dcqcn
+
+import (
+	"pet/internal/netsim"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// Config holds DCQCN parameters. Zero values take the published defaults,
+// with rate steps expressed as fractions of the sender line rate so configs
+// scale across fabrics.
+type Config struct {
+	MTU     int // data packet wire size (default: network MTU)
+	AckSize int // default 64 B
+	CNPSize int // default 64 B
+
+	CNPInterval         sim.Time // min gap between CNPs per flow (default 50 µs)
+	AlphaResumeInterval sim.Time // α decay period without CNPs (default 55 µs)
+	RateIncreaseTimer   sim.Time // time-based increase event period (default 300 µs)
+	ByteCounter         int64    // byte-based increase event threshold (default 10 MB)
+	FastRecoverySteps   int      // events before leaving fast recovery (default 5)
+	G                   float64  // α EWMA gain (default 1/256)
+	RateAIFraction      float64  // additive step / line rate (default 1/250)
+	RateHAIFraction     float64  // hyper step / line rate (default 1/25)
+	MinRateFraction     float64  // rate floor / line rate (default 1/1000)
+
+	RTO sim.Time // go-back-N retransmission timeout (default 1 ms)
+}
+
+func (c Config) withDefaults(mtu int) Config {
+	if c.MTU == 0 {
+		c.MTU = mtu
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 64
+	}
+	if c.CNPSize == 0 {
+		c.CNPSize = 64
+	}
+	if c.CNPInterval == 0 {
+		c.CNPInterval = 50 * sim.Microsecond
+	}
+	if c.AlphaResumeInterval == 0 {
+		c.AlphaResumeInterval = 55 * sim.Microsecond
+	}
+	if c.RateIncreaseTimer == 0 {
+		c.RateIncreaseTimer = 300 * sim.Microsecond
+	}
+	if c.ByteCounter == 0 {
+		c.ByteCounter = 10 << 20
+	}
+	if c.FastRecoverySteps == 0 {
+		c.FastRecoverySteps = 5
+	}
+	if c.G == 0 {
+		c.G = 1.0 / 256
+	}
+	if c.RateAIFraction == 0 {
+		c.RateAIFraction = 1.0 / 250
+	}
+	if c.RateHAIFraction == 0 {
+		c.RateHAIFraction = 1.0 / 25
+	}
+	if c.MinRateFraction == 0 {
+		c.MinRateFraction = 1.0 / 1000
+	}
+	if c.RTO == 0 {
+		c.RTO = sim.Millisecond
+	}
+	return c
+}
+
+// Flow is one sender→receiver transfer (an RDMA QP). Exported fields are
+// read-only for callers; the transport mutates them as the flow progresses.
+type Flow struct {
+	ID    netsim.FlowID
+	Src   topo.NodeID
+	Dst   topo.NodeID
+	Size  int64 // payload bytes
+	Class int   // data queue class at switch ports
+
+	Start      sim.Time
+	FinishedAt sim.Time // zero until complete (receiver got all bytes)
+
+	// Sender state.
+	lineRate float64
+	rc       float64 // current rate, bits/s
+	rt       float64 // target rate
+	alpha    float64
+	txNext   int64 // next byte offset to transmit
+	una      int64 // highest cumulative ACK
+	sending  bool
+	done     bool
+
+	cnpSeen       bool
+	timerEvents   int
+	byteEvents    int
+	bytesSinceCut int64
+	lastCNPAt     sim.Time
+	alphaTicker   *sim.Ticker
+	rateTicker    *sim.Ticker
+	pacing        sim.Handle
+	rtoHandle     sim.Handle
+
+	// Receiver state.
+	expected  int64
+	lastCNPTx sim.Time
+	cnpsSent  int
+
+	Retransmits int
+}
+
+// Done reports whether the receiver has all bytes.
+func (f *Flow) Done() bool { return f.done }
+
+// FCT returns the flow completion time; valid only once Done.
+func (f *Flow) FCT() sim.Time { return f.FinishedAt - f.Start }
+
+// Rate returns the sender's current rate in bits/s.
+func (f *Flow) Rate() float64 { return f.rc }
+
+// Alpha returns the sender's congestion estimate α.
+func (f *Flow) Alpha() float64 { return f.alpha }
+
+// CNPsSent returns how many CNPs the receiver generated for this flow.
+func (f *Flow) CNPsSent() int { return f.cnpsSent }
+
+// Transport manages all DCQCN flows over one network.
+type Transport struct {
+	net *netsim.Network
+	eng *sim.Engine
+	cfg Config
+
+	flows  map[netsim.FlowID]*Flow
+	nextID netsim.FlowID
+
+	onComplete []func(*Flow)
+	onData     []func(pkt *netsim.Packet, delay sim.Time)
+}
+
+// NewTransport creates a transport and registers itself as the endpoint of
+// every host in the network.
+func NewTransport(net *netsim.Network, cfg Config) *Transport {
+	t := &Transport{
+		net:   net,
+		eng:   net.Engine(),
+		cfg:   cfg.withDefaults(net.Config().MTU),
+		flows: make(map[netsim.FlowID]*Flow),
+	}
+	for _, h := range net.Graph().HostIDs() {
+		h := h
+		net.RegisterEndpoint(h, endpoint{t: t, host: h})
+	}
+	return t
+}
+
+// Config returns the effective (defaulted) configuration.
+func (t *Transport) Config() Config { return t.cfg }
+
+// OnFlowComplete registers a callback fired when a flow's last byte arrives.
+func (t *Transport) OnFlowComplete(fn func(*Flow)) {
+	t.onComplete = append(t.onComplete, fn)
+}
+
+// OnDataDelivered registers a tap fired for every in-order data packet at
+// its receiver, with the one-way delay. Used for latency statistics.
+func (t *Transport) OnDataDelivered(fn func(pkt *netsim.Packet, delay sim.Time)) {
+	t.onData = append(t.onData, fn)
+}
+
+// ActiveFlows returns the number of flows not yet complete.
+func (t *Transport) ActiveFlows() int {
+	n := 0
+	for _, f := range t.flows {
+		if !f.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Flow returns a flow by ID, or nil.
+func (t *Transport) Flow(id netsim.FlowID) *Flow { return t.flows[id] }
+
+// StartFlow begins transmitting size bytes from src to dst. The sender
+// starts at line rate, per DCQCN.
+func (t *Transport) StartFlow(src, dst topo.NodeID, size int64, class int) *Flow {
+	if size <= 0 {
+		panic("dcqcn: non-positive flow size")
+	}
+	if src == dst {
+		panic("dcqcn: flow to self")
+	}
+	t.nextID++
+	line := t.net.HostPort(src).Bandwidth()
+	f := &Flow{
+		ID:       t.nextID,
+		Src:      src,
+		Dst:      dst,
+		Size:     size,
+		Class:    class,
+		Start:    t.eng.Now(),
+		lineRate: line,
+		rc:       line,
+		rt:       line,
+		alpha:    1, // DCQCN initializes α to 1: the first CNP halves the rate
+	}
+	t.flows[f.ID] = f
+	t.sendLoop(f)
+	return f
+}
+
+// sendLoop paces data packets at the flow's current rate.
+func (t *Transport) sendLoop(f *Flow) {
+	if f.done || f.sending {
+		return
+	}
+	if f.txNext >= f.Size {
+		return // all sent; waiting for ACKs (or retransmit on RTO)
+	}
+	f.sending = true
+	payload := int64(t.cfg.MTU)
+	if rem := f.Size - f.txNext; rem < payload {
+		payload = rem
+	}
+	pkt := &netsim.Packet{
+		Flow:  f.ID,
+		Src:   f.Src,
+		Dst:   f.Dst,
+		Kind:  netsim.Data,
+		Size:  int(payload),
+		Seq:   f.txNext,
+		Last:  f.txNext+payload >= f.Size,
+		ECT:   true,
+		Class: f.Class,
+	}
+	t.net.SendFromHost(f.Src, pkt)
+	f.txNext += payload
+	f.bytesSinceCut += payload
+	if f.cnpSeen && f.bytesSinceCut >= t.cfg.ByteCounter {
+		f.bytesSinceCut = 0
+		t.increaseEvent(f, false)
+	}
+	t.armRTO(f)
+
+	gap := sim.TransmitTime(int(payload), f.rc)
+	f.pacing = t.eng.After(gap, func() {
+		f.sending = false
+		t.sendLoop(f)
+	})
+}
+
+// armRTO (re)arms the go-back-N timeout for the current ACK point.
+func (t *Transport) armRTO(f *Flow) {
+	f.rtoHandle.Cancel()
+	armed := f.una
+	f.rtoHandle = t.eng.After(t.cfg.RTO, func() {
+		if f.done || f.una != armed || f.txNext <= f.una {
+			return
+		}
+		// Nothing ACKed for a full RTO: go back to the ACK point.
+		f.Retransmits++
+		f.txNext = f.una
+		f.bytesSinceCut = 0
+		t.sendLoop(f)
+	})
+}
+
+// endpoint adapts a host to the netsim.Endpoint interface.
+type endpoint struct {
+	t    *Transport
+	host topo.NodeID
+}
+
+// Deliver dispatches arriving packets to receiver or sender logic.
+func (e endpoint) Deliver(pkt *netsim.Packet) {
+	switch pkt.Kind {
+	case netsim.Data:
+		e.t.recvData(e.host, pkt)
+	case netsim.Ack:
+		e.t.recvAck(pkt)
+	case netsim.CNP:
+		e.t.recvCNP(pkt)
+	}
+}
+
+// recvData is receiver-side: in-order accounting, CNP generation, ACK.
+func (t *Transport) recvData(host topo.NodeID, pkt *netsim.Packet) {
+	f := t.flows[pkt.Flow]
+	if f == nil || f.done {
+		return
+	}
+	now := t.eng.Now()
+	if pkt.CE && (f.lastCNPTx == 0 || now-f.lastCNPTx >= t.cfg.CNPInterval) {
+		f.lastCNPTx = now
+		f.cnpsSent++
+		t.net.SendFromHost(host, &netsim.Packet{
+			Flow: pkt.Flow, Src: host, Dst: pkt.Src, Kind: netsim.CNP, Size: t.cfg.CNPSize,
+		})
+	}
+	if pkt.Seq == f.expected {
+		f.expected += int64(pkt.Size)
+		for _, fn := range t.onData {
+			fn(pkt, now-pkt.SentAt)
+		}
+		if f.expected >= f.Size {
+			t.complete(f)
+		}
+	}
+	// Cumulative ACK (also dup-ACK on out-of-order, keeping GBN honest).
+	t.net.SendFromHost(host, &netsim.Packet{
+		Flow: pkt.Flow, Src: host, Dst: pkt.Src, Kind: netsim.Ack,
+		Size: t.cfg.AckSize, Seq: f.expected,
+	})
+}
+
+// recvAck is sender-side cumulative ACK processing.
+func (t *Transport) recvAck(pkt *netsim.Packet) {
+	f := t.flows[pkt.Flow]
+	if f == nil || f.done {
+		return
+	}
+	if pkt.Seq > f.una {
+		f.una = pkt.Seq
+		t.armRTO(f)
+	}
+}
+
+// complete finalizes a flow at the receiver's last in-order byte.
+func (t *Transport) complete(f *Flow) {
+	f.done = true
+	f.FinishedAt = t.eng.Now()
+	f.pacing.Cancel()
+	f.rtoHandle.Cancel()
+	if f.alphaTicker != nil {
+		f.alphaTicker.Stop()
+	}
+	if f.rateTicker != nil {
+		f.rateTicker.Stop()
+	}
+	for _, fn := range t.onComplete {
+		fn(f)
+	}
+}

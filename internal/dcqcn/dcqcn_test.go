@@ -1,0 +1,353 @@
+package dcqcn
+
+import (
+	"testing"
+
+	"pet/internal/netsim"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+func buildNet(t *testing.T, cfg netsim.Config, scale topo.LeafSpineConfig) (*sim.Engine, *topo.LeafSpine, *netsim.Network, *Transport) {
+	t.Helper()
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(scale)
+	net := netsim.New(eng, ls.Graph, 7, cfg)
+	tr := NewTransport(net, Config{})
+	return eng, ls, net, tr
+}
+
+func secn1() netsim.Config {
+	return netsim.Config{
+		// 4 MiB of buffer headroom absorbs the incast transient before the
+		// CNP loop engages, standing in for PFC losslessness (see DESIGN.md).
+		BufferPerQueue: 4 << 20,
+		DefaultECN:     netsim.ECNConfig{Enabled: true, KminBytes: 5 << 10, KmaxBytes: 200 << 10, Pmax: 0.05},
+	}
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	var done []*Flow
+	tr.OnFlowComplete(func(f *Flow) { done = append(done, f) })
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 100_000, 0)
+	eng.RunUntil(10 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if len(done) != 1 || done[0] != f {
+		t.Fatal("completion callback not fired exactly once")
+	}
+	// 100 KB at 10 Gbps is 80 µs of serialization plus ~3.6 µs path time.
+	fct := f.FCT()
+	if fct < 80*sim.Microsecond || fct > 95*sim.Microsecond {
+		t.Fatalf("uncontended FCT = %v, want ~83µs", fct)
+	}
+	if f.Retransmits != 0 {
+		t.Fatalf("retransmits = %d on a clean path", f.Retransmits)
+	}
+}
+
+func TestTinyFlowSinglePacket(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[2], 500, 0)
+	eng.RunUntil(sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("single-packet flow did not complete")
+	}
+	if f.FCT() <= 0 {
+		t.Fatalf("FCT = %v", f.FCT())
+	}
+}
+
+func TestIncastAllComplete(t *testing.T) {
+	eng, ls, net, tr := buildNet(t, secn1(), topo.SmallScale())
+	dst := ls.Hosts[0]
+	var flows []*Flow
+	for _, h := range ls.Hosts[1:] {
+		flows = append(flows, tr.StartFlow(h, dst, 200_000, 0))
+	}
+	eng.RunUntil(100 * sim.Millisecond)
+	cnps := 0
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("incast flow %d incomplete", i)
+		}
+		cnps += f.CNPsSent()
+	}
+	if cnps == 0 {
+		t.Fatal("15:1 incast produced no CNPs: ECN loop dead")
+	}
+	// The bottleneck queue must have stayed inside the buffer (lossless).
+	leaf := ls.LeafOf(dst)
+	port := net.PortFrom(leaf, ls.Graph.Node(dst).Links[0])
+	if drops := port.Stats().DropsOverflow; drops != 0 {
+		t.Fatalf("%d overflow drops despite DCQCN+ECN", drops)
+	}
+}
+
+func TestIncastLosslessWithPFCAndShallowBuffers(t *testing.T) {
+	// With PFC underneath, DCQCN stays lossless even on 128 KB buffers —
+	// the production RoCE configuration.
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(topo.SmallScale())
+	// PFC headroom: each switch has ≤5 ingress links that can all target
+	// one 128 KB egress queue, so XOFF must satisfy 5×(XOFF+skid) < 128 KB.
+	net := netsim.New(eng, ls.Graph, 7, netsim.Config{
+		BufferPerQueue: 128 << 10,
+		DefaultECN:     netsim.ECNConfig{Enabled: true, KminBytes: 5 << 10, KmaxBytes: 50 << 10, Pmax: 0.2},
+		PFC:            netsim.PFCConfig{Enabled: true, XOFFBytes: 12 << 10, XONBytes: 6 << 10},
+	})
+	// RTO above the pause timescale: PFC stalls are flow control, not
+	// loss, and must not trigger go-back-N.
+	tr := NewTransport(net, Config{RTO: 20 * sim.Millisecond})
+	dst := ls.Hosts[0]
+	var flows []*Flow
+	for _, h := range ls.Hosts[1:] {
+		flows = append(flows, tr.StartFlow(h, dst, 200_000, 0))
+	}
+	eng.RunUntil(200 * sim.Millisecond)
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("flow %d incomplete under PFC", i)
+		}
+		if f.Retransmits != 0 {
+			t.Fatalf("flow %d retransmitted in a lossless fabric", i)
+		}
+	}
+	var drops uint64
+	for _, p := range net.SwitchPorts() {
+		drops += p.Stats().DropsOverflow
+	}
+	if drops != 0 {
+		t.Fatalf("%d drops with PFC enabled", drops)
+	}
+	if net.PFCStats().Pauses == 0 {
+		t.Fatal("15:1 incast on shallow buffers generated no pauses")
+	}
+}
+
+func TestCNPCutsRate(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 10<<20, 0)
+	_ = eng
+	line := f.Rate()
+	tr.handleCNP(f)
+	// α starts at 1, so the first CNP halves the rate.
+	if got := f.Rate(); got > line*0.51 || got < line*0.49 {
+		t.Fatalf("rate after first CNP = %v, want half of %v", got, line)
+	}
+	// α = 1 is a fixed point of the CNP update; it only decays via the
+	// resume timer, never via CNPs themselves.
+	if f.Alpha() != 1 {
+		t.Fatalf("alpha = %v after one CNP from α=1, want exactly 1", f.Alpha())
+	}
+	f.alpha = 0.5
+	tr.handleCNP(f)
+	if f.Alpha() <= 0.5 || f.Alpha() >= 1 {
+		t.Fatalf("alpha = %v after CNP from α=0.5, want (0.5, 1)", f.Alpha())
+	}
+	r1 := f.Rate()
+	tr.handleCNP(f)
+	if f.Rate() >= r1 {
+		t.Fatal("second CNP did not reduce rate")
+	}
+}
+
+func TestCNPRateLimiting(t *testing.T) {
+	// Mark every data packet: the receiver must still emit at most one CNP
+	// per CNPInterval per flow.
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(topo.TinyScale())
+	net := netsim.New(eng, ls.Graph, 3, netsim.Config{
+		BufferPerQueue: 4 << 20,
+		DefaultECN:     netsim.ECNConfig{Enabled: true, KminBytes: 0, KmaxBytes: 0, Pmax: 1},
+	})
+	tr := NewTransport(net, Config{})
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 1<<20, 0)
+	eng.RunUntil(5 * sim.Millisecond)
+	elapsed := f.FinishedAt - f.Start
+	if !f.Done() {
+		elapsed = 5 * sim.Millisecond
+	}
+	maxCNPs := int(elapsed/tr.cfg.CNPInterval) + 2
+	if f.CNPsSent() > maxCNPs {
+		t.Fatalf("receiver sent %d CNPs in %v (max %d at one per %v)",
+			f.CNPsSent(), elapsed, maxCNPs, tr.cfg.CNPInterval)
+	}
+	if f.CNPsSent() == 0 {
+		t.Fatal("no CNPs despite universal marking")
+	}
+}
+
+func TestRateFloor(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 10<<20, 0)
+	_ = eng
+	for i := 0; i < 1000; i++ {
+		tr.handleCNP(f)
+	}
+	min := f.lineRate * tr.cfg.MinRateFraction
+	if f.Rate() < min {
+		t.Fatalf("rate %v fell below the floor %v", f.Rate(), min)
+	}
+}
+
+func TestRateRecoversAfterCongestion(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 50<<20, 0)
+	// Inject one cut early, then let the increase machinery run.
+	eng.After(10*sim.Microsecond, func() { tr.handleCNP(f) })
+	var atCut, later float64
+	eng.After(20*sim.Microsecond, func() { atCut = f.Rate() })
+	eng.After(5*sim.Millisecond, func() { later = f.Rate() })
+	eng.RunUntil(6 * sim.Millisecond)
+	if atCut >= f.lineRate*0.6 {
+		t.Fatalf("rate right after cut = %v, not cut enough", atCut)
+	}
+	if later < f.lineRate*0.95 {
+		t.Fatalf("rate %v did not recover toward line %v after 5ms", later, f.lineRate)
+	}
+}
+
+func TestIncreaseStages(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 10<<20, 0)
+	_ = eng
+	tr.handleCNP(f)
+	rt0 := f.rt
+	// Fast recovery: target rate must not move for the first steps.
+	for i := 0; i < tr.cfg.FastRecoverySteps-1; i++ {
+		tr.increaseEvent(f, true)
+		if f.rt != rt0 {
+			t.Fatalf("target moved during fast recovery at step %d", i)
+		}
+	}
+	// Next timer event enters additive increase: target rises by RAI.
+	tr.increaseEvent(f, true)
+	wantRT := rt0 + f.lineRate*tr.cfg.RateAIFraction
+	if f.rt != wantRT && f.rt != f.lineRate {
+		t.Fatalf("additive increase rt = %v, want %v", f.rt, wantRT)
+	}
+	// Drive byte events past the threshold too: hyper increase kicks in.
+	for i := 0; i < tr.cfg.FastRecoverySteps; i++ {
+		tr.increaseEvent(f, false)
+	}
+	before := f.rt
+	tr.increaseEvent(f, true)
+	if f.rt > f.lineRate {
+		t.Fatalf("rt %v exceeded line rate", f.rt)
+	}
+	if before < f.lineRate && f.rt <= before {
+		t.Fatal("hyper increase did not raise target")
+	}
+}
+
+func TestGoBackNRecoversFromLinkFlap(t *testing.T) {
+	eng, ls, net, tr := buildNet(t, secn1(), topo.TinyScale())
+	src, dst := ls.Hosts[0], ls.Hosts[2]
+	f := tr.StartFlow(src, dst, 2<<20, 0)
+	// Cut all uplinks of src's leaf mid-flow, restore 3 ms later.
+	leaf := ls.LeafOf(src)
+	var uplinks []topo.LinkID
+	for _, lid := range ls.Graph.Node(leaf).Links {
+		if ls.Graph.Node(ls.Graph.Link(lid).Peer(leaf)).Kind == topo.Spine {
+			uplinks = append(uplinks, lid)
+		}
+	}
+	eng.After(200*sim.Microsecond, func() { net.SetLinksUp(uplinks, false) })
+	eng.After(3200*sim.Microsecond, func() { net.SetLinksUp(uplinks, true) })
+	eng.RunUntil(100 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow did not recover after link restoration")
+	}
+	if f.Retransmits == 0 {
+		t.Fatal("no retransmissions despite a 3ms blackout")
+	}
+}
+
+func TestTwoFlowsShareBottleneckFairly(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	// Both flows target host1; bottleneck is the leaf->host1 link.
+	dst := ls.Hosts[1]
+	f1 := tr.StartFlow(ls.Hosts[0], dst, 4<<20, 0)
+	f2 := tr.StartFlow(ls.Hosts[2], dst, 4<<20, 0)
+	eng.RunUntil(50 * sim.Millisecond)
+	if !f1.Done() || !f2.Done() {
+		t.Fatal("flows did not complete")
+	}
+	// Equal sizes, same start: completion times within 2x of each other.
+	a, b := f1.FCT().Seconds(), f2.FCT().Seconds()
+	if a > 2*b || b > 2*a {
+		t.Fatalf("unfair share: FCTs %v vs %v", f1.FCT(), f2.FCT())
+	}
+}
+
+func TestOnDataDeliveredTap(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	var delays []sim.Time
+	tr.OnDataDelivered(func(p *netsim.Packet, d sim.Time) { delays = append(delays, d) })
+	tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 10_000, 0)
+	eng.RunUntil(10 * sim.Millisecond)
+	if len(delays) != 10 {
+		t.Fatalf("tap saw %d packets, want 10", len(delays))
+	}
+	for _, d := range delays {
+		if d <= 0 {
+			t.Fatalf("non-positive one-way delay %v", d)
+		}
+	}
+}
+
+func TestActiveFlowsAccounting(t *testing.T) {
+	eng, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 1000, 0)
+	tr.StartFlow(ls.Hosts[2], ls.Hosts[3], 1000, 0)
+	if tr.ActiveFlows() != 2 {
+		t.Fatalf("ActiveFlows = %d, want 2", tr.ActiveFlows())
+	}
+	eng.RunUntil(10 * sim.Millisecond)
+	if tr.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d after completion, want 0", tr.ActiveFlows())
+	}
+}
+
+func TestDeterministicTransport(t *testing.T) {
+	run := func() sim.Time {
+		eng := sim.NewEngine()
+		ls := topo.BuildLeafSpine(topo.SmallScale())
+		net := netsim.New(eng, ls.Graph, 99, secn1())
+		tr := NewTransport(net, Config{})
+		var last sim.Time
+		tr.OnFlowComplete(func(f *Flow) { last = f.FinishedAt })
+		for i, h := range ls.Hosts[1:6] {
+			tr.StartFlow(h, ls.Hosts[0], int64(100_000+i*7000), 0)
+		}
+		eng.RunUntil(50 * sim.Millisecond)
+		return last
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic completion: %v vs %v", a, b)
+	}
+}
+
+func TestStartFlowValidation(t *testing.T) {
+	_, ls, _, tr := buildNet(t, secn1(), topo.TinyScale())
+	for _, tc := range []struct {
+		src, dst topo.NodeID
+		size     int64
+	}{
+		{ls.Hosts[0], ls.Hosts[0], 100},
+		{ls.Hosts[0], ls.Hosts[1], 0},
+		{ls.Hosts[0], ls.Hosts[1], -5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("StartFlow(%v,%v,%d) did not panic", tc.src, tc.dst, tc.size)
+				}
+			}()
+			tr.StartFlow(tc.src, tc.dst, tc.size, 0)
+		}()
+	}
+}

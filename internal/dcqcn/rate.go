@@ -1,0 +1,93 @@
+package dcqcn
+
+import (
+	"pet/internal/netsim"
+	"pet/internal/sim"
+)
+
+// This file holds the DCQCN reaction-point (sender) rate state machine:
+// multiplicative decrease on CNP, α decay, and the three-stage increase
+// (fast recovery → additive → hyper), driven by a timer and a byte counter.
+
+// recvCNP is sender-side CNP processing.
+func (t *Transport) recvCNP(pkt *netsim.Packet) {
+	f := t.flows[pkt.Flow]
+	if f == nil || f.done {
+		return
+	}
+	t.handleCNP(f)
+}
+
+// handleCNP applies the DCQCN rate cut:
+//
+//	RT ← RC;  RC ← RC·(1 − α/2);  α ← (1−g)·α + g
+//
+// and resets the increase stage counters.
+func (t *Transport) handleCNP(f *Flow) {
+	now := t.eng.Now()
+	f.rt = f.rc
+	f.rc = f.rc * (1 - f.alpha/2)
+	minRate := f.lineRate * t.cfg.MinRateFraction
+	if f.rc < minRate {
+		f.rc = minRate
+	}
+	f.alpha = (1-t.cfg.G)*f.alpha + t.cfg.G
+	f.lastCNPAt = now
+	f.timerEvents = 0
+	f.byteEvents = 0
+	f.bytesSinceCut = 0
+	if !f.cnpSeen {
+		f.cnpSeen = true
+		t.startTimers(f)
+	} else {
+		// Restart the rate-increase timer phase from the cut.
+		f.rateTicker.Stop()
+		f.rateTicker = sim.NewTicker(t.eng, t.cfg.RateIncreaseTimer, func(sim.Time) {
+			t.increaseEvent(f, true)
+		})
+	}
+}
+
+// startTimers launches the α-decay and rate-increase tickers after the
+// first CNP. Until then the flow runs at line rate and needs neither.
+func (t *Transport) startTimers(f *Flow) {
+	f.alphaTicker = sim.NewTicker(t.eng, t.cfg.AlphaResumeInterval, func(now sim.Time) {
+		if now-f.lastCNPAt >= t.cfg.AlphaResumeInterval {
+			f.alpha *= 1 - t.cfg.G
+		}
+	})
+	f.rateTicker = sim.NewTicker(t.eng, t.cfg.RateIncreaseTimer, func(sim.Time) {
+		t.increaseEvent(f, true)
+	})
+}
+
+// increaseEvent advances the staged rate increase. timer selects which of
+// the two event counters fired.
+func (t *Transport) increaseEvent(f *Flow, timer bool) {
+	if f.done {
+		return
+	}
+	if timer {
+		f.timerEvents++
+	} else {
+		f.byteEvents++
+	}
+	fr := t.cfg.FastRecoverySteps
+	switch {
+	case f.timerEvents < fr && f.byteEvents < fr:
+		// Fast recovery: close half the gap to the target.
+	case f.timerEvents >= fr && f.byteEvents >= fr:
+		// Hyper increase.
+		f.rt += f.lineRate * t.cfg.RateHAIFraction
+	default:
+		// Additive increase.
+		f.rt += f.lineRate * t.cfg.RateAIFraction
+	}
+	if f.rt > f.lineRate {
+		f.rt = f.lineRate
+	}
+	f.rc = (f.rc + f.rt) / 2
+	if f.rc > f.lineRate {
+		f.rc = f.lineRate
+	}
+}

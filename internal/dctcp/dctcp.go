@@ -1,0 +1,310 @@
+// Package dctcp implements the DCTCP congestion control (Alizadeh et al.,
+// SIGCOMM 2010) over the netsim packet network — the pioneering static-ECN
+// scheme of the paper's related work (Sec. 2.1), and the second transport
+// family PET claims compatibility with ("requires no modifications to the
+// ECN-based rate control on the server side").
+//
+// DCTCP is window-based: the receiver echoes CE marks per-ACK, the sender
+// maintains the EWMA fraction α of marked bytes per window and shrinks the
+// congestion window by α/2 once per window on congestion:
+//
+//	α ← (1−g)·α + g·F        F = marked fraction in the last window
+//	cwnd ← cwnd · (1 − α/2)  on windows containing marks
+//
+// Reliability is go-back-N like the dcqcn package.
+package dctcp
+
+import (
+	"pet/internal/netsim"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// Config holds DCTCP parameters. Zero values take the published defaults.
+type Config struct {
+	MTU     int // data packet wire size (default: network MTU)
+	AckSize int // default 64
+
+	G           float64 // α EWMA gain, default 1/16 (paper's g)
+	InitCwndPkt int     // initial window in packets, default 10
+	MinCwndPkt  int     // floor, default 1
+	MaxCwndPkt  int     // cap, default 512
+	RTO         sim.Time
+}
+
+func (c Config) withDefaults(mtu int) Config {
+	if c.MTU == 0 {
+		c.MTU = mtu
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 64
+	}
+	if c.G == 0 {
+		c.G = 1.0 / 16
+	}
+	if c.InitCwndPkt == 0 {
+		c.InitCwndPkt = 10
+	}
+	if c.MinCwndPkt == 0 {
+		c.MinCwndPkt = 1
+	}
+	if c.MaxCwndPkt == 0 {
+		c.MaxCwndPkt = 512
+	}
+	if c.RTO == 0 {
+		c.RTO = sim.Millisecond
+	}
+	return c
+}
+
+// Flow is one DCTCP connection.
+type Flow struct {
+	ID    netsim.FlowID
+	Src   topo.NodeID
+	Dst   topo.NodeID
+	Size  int64
+	Class int
+
+	Start      sim.Time
+	FinishedAt sim.Time
+
+	// Sender state.
+	cwnd        float64 // packets
+	alpha       float64
+	txNext      int64
+	una         int64
+	windowStart int64 // una marking the current observation window
+	ackedBytes  int64 // bytes ACKed in this window
+	markedBytes int64 // CE-echo bytes in this window
+	done        bool
+	rtoHandle   sim.Handle
+
+	// Receiver state.
+	expected int64
+
+	Retransmits int
+}
+
+// Done reports whether the receiver has every byte.
+func (f *Flow) Done() bool { return f.done }
+
+// FCT returns the flow completion time; valid once Done.
+func (f *Flow) FCT() sim.Time { return f.FinishedAt - f.Start }
+
+// Cwnd returns the sender's congestion window, in packets.
+func (f *Flow) Cwnd() float64 { return f.cwnd }
+
+// Alpha returns the sender's congestion estimate.
+func (f *Flow) Alpha() float64 { return f.alpha }
+
+// Transport manages all DCTCP flows over one network.
+type Transport struct {
+	net *netsim.Network
+	eng *sim.Engine
+	cfg Config
+
+	flows  map[netsim.FlowID]*Flow
+	nextID netsim.FlowID
+
+	onComplete []func(*Flow)
+	onData     []func(pkt *netsim.Packet, delay sim.Time)
+}
+
+// NewTransport creates a transport and claims every host endpoint.
+func NewTransport(net *netsim.Network, cfg Config) *Transport {
+	t := &Transport{
+		net:   net,
+		eng:   net.Engine(),
+		cfg:   cfg.withDefaults(net.Config().MTU),
+		flows: make(map[netsim.FlowID]*Flow),
+	}
+	for _, h := range net.Graph().HostIDs() {
+		h := h
+		net.RegisterEndpoint(h, endpoint{t: t, host: h})
+	}
+	return t
+}
+
+// Config returns the effective configuration.
+func (t *Transport) Config() Config { return t.cfg }
+
+// OnFlowComplete registers a completion callback.
+func (t *Transport) OnFlowComplete(fn func(*Flow)) {
+	t.onComplete = append(t.onComplete, fn)
+}
+
+// OnDataDelivered registers a tap fired for every in-order data packet at
+// its receiver, with the one-way delay.
+func (t *Transport) OnDataDelivered(fn func(pkt *netsim.Packet, delay sim.Time)) {
+	t.onData = append(t.onData, fn)
+}
+
+// StartFlow begins a size-byte transfer.
+func (t *Transport) StartFlow(src, dst topo.NodeID, size int64, class int) *Flow {
+	if size <= 0 {
+		panic("dctcp: non-positive flow size")
+	}
+	if src == dst {
+		panic("dctcp: flow to self")
+	}
+	t.nextID++
+	f := &Flow{
+		ID:    t.nextID,
+		Src:   src,
+		Dst:   dst,
+		Size:  size,
+		Class: class,
+		Start: t.eng.Now(),
+		cwnd:  float64(t.cfg.InitCwndPkt),
+	}
+	t.flows[f.ID] = f
+	t.pump(f)
+	return f
+}
+
+// Flow returns a flow by ID, or nil.
+func (t *Transport) Flow(id netsim.FlowID) *Flow { return t.flows[id] }
+
+// ActiveFlows counts incomplete flows.
+func (t *Transport) ActiveFlows() int {
+	n := 0
+	for _, f := range t.flows {
+		if !f.done {
+			n++
+		}
+	}
+	return n
+}
+
+// pump sends as much as the window allows.
+func (t *Transport) pump(f *Flow) {
+	if f.done {
+		return
+	}
+	windowBytes := int64(f.cwnd * float64(t.cfg.MTU))
+	for f.txNext < f.Size && f.txNext-f.una < windowBytes {
+		payload := int64(t.cfg.MTU)
+		if rem := f.Size - f.txNext; rem < payload {
+			payload = rem
+		}
+		t.net.SendFromHost(f.Src, &netsim.Packet{
+			Flow:  f.ID,
+			Src:   f.Src,
+			Dst:   f.Dst,
+			Kind:  netsim.Data,
+			Size:  int(payload),
+			Seq:   f.txNext,
+			Last:  f.txNext+payload >= f.Size,
+			ECT:   true,
+			Class: f.Class,
+		})
+		f.txNext += payload
+	}
+	t.armRTO(f)
+}
+
+func (t *Transport) armRTO(f *Flow) {
+	f.rtoHandle.Cancel()
+	if f.txNext <= f.una {
+		return
+	}
+	armed := f.una
+	f.rtoHandle = t.eng.After(t.cfg.RTO, func() {
+		if f.done || f.una != armed {
+			return
+		}
+		f.Retransmits++
+		f.txNext = f.una
+		f.cwnd = float64(t.cfg.MinCwndPkt) // timeout collapses the window
+		t.pump(f)
+	})
+}
+
+type endpoint struct {
+	t    *Transport
+	host topo.NodeID
+}
+
+// Deliver dispatches packets to receiver or sender logic.
+func (e endpoint) Deliver(pkt *netsim.Packet) {
+	switch pkt.Kind {
+	case netsim.Data:
+		e.t.recvData(e.host, pkt)
+	case netsim.Ack:
+		e.t.recvAck(pkt)
+	}
+}
+
+// recvData runs the receiver: in-order accounting plus per-packet ACKs
+// carrying the CE echo (pkt.CE is reflected in the ACK's CE field, the
+// simulator's stand-in for the ECE flag).
+func (t *Transport) recvData(host topo.NodeID, pkt *netsim.Packet) {
+	f := t.flows[pkt.Flow]
+	if f == nil || f.done {
+		return
+	}
+	if pkt.Seq == f.expected {
+		f.expected += int64(pkt.Size)
+		for _, fn := range t.onData {
+			fn(pkt, t.eng.Now()-pkt.SentAt)
+		}
+	}
+	// Cumulative ACK with the CE echo (the simulator's ECE flag); the
+	// sender attributes delta(Seq) bytes to marked or clean accordingly.
+	t.net.SendFromHost(host, &netsim.Packet{
+		Flow: pkt.Flow, Src: host, Dst: pkt.Src, Kind: netsim.Ack,
+		Size: t.cfg.AckSize, Seq: f.expected,
+		CE: pkt.CE,
+	})
+	if f.expected >= f.Size {
+		t.complete(f)
+	}
+}
+
+// recvAck runs the DCTCP sender: window-based α update and cut.
+func (t *Transport) recvAck(pkt *netsim.Packet) {
+	f := t.flows[pkt.Flow]
+	if f == nil || f.done {
+		return
+	}
+	if pkt.Seq > f.una {
+		newly := pkt.Seq - f.una
+		f.una = pkt.Seq
+		f.ackedBytes += newly
+		if pkt.CE {
+			f.markedBytes += newly
+		}
+		// Additive increase: one packet per window's worth of ACKs.
+		f.cwnd += 1 / f.cwnd
+		if f.cwnd > float64(t.cfg.MaxCwndPkt) {
+			f.cwnd = float64(t.cfg.MaxCwndPkt)
+		}
+		// Window boundary: refresh α and apply the DCTCP cut.
+		if f.una >= f.windowStart+int64(f.cwnd*float64(t.cfg.MTU)) || f.una >= f.Size {
+			frac := 0.0
+			if f.ackedBytes > 0 {
+				frac = float64(f.markedBytes) / float64(f.ackedBytes)
+			}
+			f.alpha = (1-t.cfg.G)*f.alpha + t.cfg.G*frac
+			if f.markedBytes > 0 {
+				f.cwnd *= 1 - f.alpha/2
+				if f.cwnd < float64(t.cfg.MinCwndPkt) {
+					f.cwnd = float64(t.cfg.MinCwndPkt)
+				}
+			}
+			f.windowStart = f.una
+			f.ackedBytes, f.markedBytes = 0, 0
+		}
+		t.armRTO(f)
+		t.pump(f)
+	}
+}
+
+func (t *Transport) complete(f *Flow) {
+	f.done = true
+	f.FinishedAt = t.eng.Now()
+	f.rtoHandle.Cancel()
+	for _, fn := range t.onComplete {
+		fn(f)
+	}
+}

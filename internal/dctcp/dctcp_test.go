@@ -1,0 +1,166 @@
+package dctcp
+
+import (
+	"testing"
+
+	"pet/internal/netsim"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+func build(t *testing.T, ecn netsim.ECNConfig) (*sim.Engine, *topo.LeafSpine, *netsim.Network, *Transport) {
+	t.Helper()
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(topo.TinyScale())
+	net := netsim.New(eng, ls.Graph, 5, netsim.Config{BufferPerQueue: 4 << 20, DefaultECN: ecn})
+	return eng, ls, net, NewTransport(net, Config{})
+}
+
+func dctcpECN() netsim.ECNConfig {
+	// DCTCP-style single threshold: mark everything above K.
+	return netsim.ECNConfig{Enabled: true, KminBytes: 30 << 10, KmaxBytes: 30 << 10, Pmax: 1}
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	eng, ls, _, tr := build(t, dctcpECN())
+	var done []*Flow
+	tr.OnFlowComplete(func(f *Flow) { done = append(done, f) })
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[2], 200_000, 0)
+	eng.RunUntil(50 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if len(done) != 1 {
+		t.Fatalf("callbacks = %d", len(done))
+	}
+	if f.Retransmits != 0 {
+		t.Fatalf("retransmits = %d on clean path", f.Retransmits)
+	}
+	if f.FCT() <= 0 {
+		t.Fatalf("FCT = %v", f.FCT())
+	}
+}
+
+func TestWindowGrowsWithoutCongestion(t *testing.T) {
+	eng, ls, _, tr := build(t, netsim.ECNConfig{Enabled: true, KminBytes: 1 << 30, KmaxBytes: 1 << 30, Pmax: 1})
+	f := tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 2<<20, 0)
+	init := f.Cwnd()
+	eng.RunUntil(10 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if f.Cwnd() <= init {
+		t.Fatalf("cwnd %v did not grow from %v", f.Cwnd(), init)
+	}
+	if f.Alpha() != 0 {
+		t.Fatalf("alpha = %v without any marks", f.Alpha())
+	}
+}
+
+func TestAlphaRisesAndWindowShrinksUnderIncast(t *testing.T) {
+	eng, ls, net, tr := build(t, dctcpECN())
+	dst := ls.Hosts[0]
+	var flows []*Flow
+	for _, src := range []topo.NodeID{ls.Hosts[1], ls.Hosts[2], ls.Hosts[3]} {
+		flows = append(flows, tr.StartFlow(src, dst, 2<<20, 0))
+	}
+	eng.RunUntil(60 * sim.Millisecond)
+	marked := uint64(0)
+	for _, p := range net.SwitchPorts() {
+		marked += p.Stats().TxMarkedPackets
+	}
+	if marked == 0 {
+		t.Fatal("no CE marks under 3:1 incast")
+	}
+	sawAlpha := false
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("flow %d incomplete", i)
+		}
+		if f.Alpha() > 0 {
+			sawAlpha = true
+		}
+	}
+	if !sawAlpha {
+		t.Fatal("no sender developed α > 0 despite marks")
+	}
+	// Queue must have been held near the threshold, not at the buffer cap.
+	leaf := ls.LeafOf(dst)
+	port := net.PortFrom(leaf, ls.Graph.Node(dst).Links[0])
+	if drops := port.Stats().DropsOverflow; drops != 0 {
+		t.Fatalf("%d drops despite DCTCP+ECN", drops)
+	}
+}
+
+func TestTimeoutRecovery(t *testing.T) {
+	eng, ls, net, tr := build(t, dctcpECN())
+	src, dst := ls.Hosts[0], ls.Hosts[2]
+	f := tr.StartFlow(src, dst, 1<<20, 0)
+	leaf := ls.LeafOf(src)
+	var uplinks []topo.LinkID
+	for _, lid := range ls.Graph.Node(leaf).Links {
+		if ls.Graph.Node(ls.Graph.Link(lid).Peer(leaf)).Kind == topo.Spine {
+			uplinks = append(uplinks, lid)
+		}
+	}
+	eng.After(100*sim.Microsecond, func() { net.SetLinksUp(uplinks, false) })
+	eng.After(3*sim.Millisecond, func() { net.SetLinksUp(uplinks, true) })
+	eng.RunUntil(100 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow did not recover from blackout")
+	}
+	if f.Retransmits == 0 {
+		t.Fatal("no RTO fired during 3ms blackout")
+	}
+}
+
+func TestFairShareTwoFlows(t *testing.T) {
+	eng, ls, _, tr := build(t, dctcpECN())
+	dst := ls.Hosts[1]
+	f1 := tr.StartFlow(ls.Hosts[0], dst, 2<<20, 0)
+	f2 := tr.StartFlow(ls.Hosts[2], dst, 2<<20, 0)
+	eng.RunUntil(100 * sim.Millisecond)
+	if !f1.Done() || !f2.Done() {
+		t.Fatal("flows incomplete")
+	}
+	a, b := float64(f1.FCT()), float64(f2.FCT())
+	if a > 2.5*b || b > 2.5*a {
+		t.Fatalf("unfair: FCT %v vs %v", f1.FCT(), f2.FCT())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	_, ls, _, tr := build(t, dctcpECN())
+	for _, fn := range []func(){
+		func() { tr.StartFlow(ls.Hosts[0], ls.Hosts[0], 10, 0) },
+		func() { tr.StartFlow(ls.Hosts[0], ls.Hosts[1], 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid StartFlow accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		eng := sim.NewEngine()
+		ls := topo.BuildLeafSpine(topo.TinyScale())
+		net := netsim.New(eng, ls.Graph, 5, netsim.Config{BufferPerQueue: 4 << 20, DefaultECN: dctcpECN()})
+		tr := NewTransport(net, Config{})
+		var last sim.Time
+		tr.OnFlowComplete(func(f *Flow) { last = f.FinishedAt })
+		for i := 0; i < 4; i++ {
+			tr.StartFlow(ls.Hosts[i], ls.Hosts[(i+1)%4], 500_000, 0)
+		}
+		eng.RunUntil(50 * sim.Millisecond)
+		return last
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}

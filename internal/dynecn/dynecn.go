@@ -1,0 +1,203 @@
+// Package dynecn implements the rule-based dynamic ECN tuning schemes of
+// the paper's related work (Sec. 2.2), as additional baselines beyond the
+// paper's own comparison set:
+//
+//   - AMT (Zhang et al. 2016) adjusts the marking threshold from the
+//     periodically measured link utilization.
+//   - QAECN (Kang et al. 2019) adjusts each queue's threshold from its
+//     instantaneous queue length.
+//
+// Both are "pre-defined rule" controllers: they adapt, but the adaptation
+// law is hand-written — exactly the class PET's learned policy competes
+// against. The published rules are reproduced in simplified form (single
+// threshold, per-port), with the adaptation signal faithful to each paper.
+package dynecn
+
+import (
+	"pet/internal/netsim"
+	"pet/internal/sim"
+)
+
+// AMTConfig parameterizes the utilization-driven controller.
+type AMTConfig struct {
+	Interval sim.Time // measurement period, default 200 µs
+	LowKB    int      // threshold at zero utilization, default 10 KB
+	HighKB   int      // threshold at full utilization, default 200 KB
+	Pmax     float64  // marking probability above threshold, default 1
+	Class    int
+}
+
+func (c AMTConfig) withDefaults() AMTConfig {
+	if c.Interval == 0 {
+		c.Interval = 200 * sim.Microsecond
+	}
+	if c.LowKB == 0 {
+		c.LowKB = 10
+	}
+	if c.HighKB == 0 {
+		c.HighKB = 200
+	}
+	if c.Pmax == 0 {
+		c.Pmax = 1
+	}
+	return c
+}
+
+// AMT is the adaptive-marking-threshold controller: every interval, each
+// port's threshold is interpolated between LowKB and HighKB by its measured
+// utilization — high utilization tolerates a longer queue to keep the link
+// busy; low utilization pulls the threshold down for latency.
+type AMT struct {
+	net    *netsim.Network
+	cfg    AMTConfig
+	lastTx []uint64
+	ports  []*netsim.Port
+	ticker *sim.Ticker
+}
+
+// NewAMT builds the controller over all switch ports.
+func NewAMT(net *netsim.Network, cfg AMTConfig) *AMT {
+	cfg = cfg.withDefaults()
+	a := &AMT{net: net, cfg: cfg, ports: net.SwitchPorts()}
+	a.lastTx = make([]uint64, len(a.ports))
+	for i, p := range a.ports {
+		a.lastTx[i] = p.Stats().TxBytes
+		a.apply(p, 0)
+	}
+	return a
+}
+
+// Start arms the periodic adjustment.
+func (a *AMT) Start() {
+	if a.ticker != nil {
+		return
+	}
+	a.ticker = sim.NewTicker(a.net.Engine(), a.cfg.Interval, func(sim.Time) { a.tick() })
+}
+
+// Stop cancels the periodic adjustment.
+func (a *AMT) Stop() {
+	if a.ticker != nil {
+		a.ticker.Stop()
+		a.ticker = nil
+	}
+}
+
+func (a *AMT) tick() {
+	for i, p := range a.ports {
+		cur := p.Stats().TxBytes
+		delta := cur - a.lastTx[i]
+		a.lastTx[i] = cur
+		util := float64(delta) * 8 / (a.cfg.Interval.Seconds() * p.Bandwidth())
+		if util > 1 {
+			util = 1
+		}
+		a.apply(p, util)
+	}
+}
+
+func (a *AMT) apply(p *netsim.Port, util float64) {
+	k := (float64(a.cfg.LowKB) + util*float64(a.cfg.HighKB-a.cfg.LowKB)) * 1024
+	p.SetECN(a.cfg.Class, netsim.ECNConfig{
+		Enabled:   true,
+		KminBytes: int(k),
+		KmaxBytes: int(k),
+		Pmax:      a.cfg.Pmax,
+	})
+}
+
+// QAECNConfig parameterizes the queue-length-driven controller.
+type QAECNConfig struct {
+	Interval sim.Time // default 100 µs
+	LowKB    int      // threshold floor, default 5 KB
+	HighKB   int      // threshold cap, default 400 KB
+	Eta      float64  // threshold / smoothed queue length, default 1.25
+	Gain     float64  // queue EWMA gain, default 0.25
+	Pmax     float64  // default 1
+	Class    int
+}
+
+func (c QAECNConfig) withDefaults() QAECNConfig {
+	if c.Interval == 0 {
+		c.Interval = 100 * sim.Microsecond
+	}
+	if c.LowKB == 0 {
+		c.LowKB = 5
+	}
+	if c.HighKB == 0 {
+		c.HighKB = 400
+	}
+	if c.Eta == 0 {
+		c.Eta = 1.25
+	}
+	if c.Gain == 0 {
+		c.Gain = 0.25
+	}
+	if c.Pmax == 0 {
+		c.Pmax = 1
+	}
+	return c
+}
+
+// QAECN tracks each queue's instantaneous length with an EWMA and keeps the
+// marking threshold at Eta× that level (clamped): micro-bursts above the
+// recent operating point get marked, the steady state does not.
+type QAECN struct {
+	net    *netsim.Network
+	cfg    QAECNConfig
+	ports  []*netsim.Port
+	ewma   []float64
+	ticker *sim.Ticker
+}
+
+// NewQAECN builds the controller over all switch ports.
+func NewQAECN(net *netsim.Network, cfg QAECNConfig) *QAECN {
+	cfg = cfg.withDefaults()
+	q := &QAECN{net: net, cfg: cfg, ports: net.SwitchPorts()}
+	q.ewma = make([]float64, len(q.ports))
+	for _, p := range q.ports {
+		q.apply(p, 0)
+	}
+	return q
+}
+
+// Start arms the periodic adjustment.
+func (q *QAECN) Start() {
+	if q.ticker != nil {
+		return
+	}
+	q.ticker = sim.NewTicker(q.net.Engine(), q.cfg.Interval, func(sim.Time) { q.tick() })
+}
+
+// Stop cancels the periodic adjustment.
+func (q *QAECN) Stop() {
+	if q.ticker != nil {
+		q.ticker.Stop()
+		q.ticker = nil
+	}
+}
+
+func (q *QAECN) tick() {
+	for i, p := range q.ports {
+		inst := float64(p.ClassQueueBytes(q.cfg.Class))
+		q.ewma[i] = (1-q.cfg.Gain)*q.ewma[i] + q.cfg.Gain*inst
+		q.apply(p, q.ewma[i])
+	}
+}
+
+func (q *QAECN) apply(p *netsim.Port, smoothed float64) {
+	k := q.cfg.Eta * smoothed
+	lo, hi := float64(q.cfg.LowKB)*1024, float64(q.cfg.HighKB)*1024
+	if k < lo {
+		k = lo
+	}
+	if k > hi {
+		k = hi
+	}
+	p.SetECN(q.cfg.Class, netsim.ECNConfig{
+		Enabled:   true,
+		KminBytes: int(k),
+		KmaxBytes: int(k),
+		Pmax:      q.cfg.Pmax,
+	})
+}

@@ -1,0 +1,135 @@
+package dynecn
+
+import (
+	"testing"
+
+	"pet/internal/dcqcn"
+	"pet/internal/netsim"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+func build(t *testing.T) (*sim.Engine, *topo.LeafSpine, *netsim.Network, *dcqcn.Transport) {
+	t.Helper()
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(topo.TinyScale())
+	net := netsim.New(eng, ls.Graph, 3, netsim.Config{BufferPerQueue: 4 << 20})
+	tr := dcqcn.NewTransport(net, dcqcn.Config{})
+	return eng, ls, net, tr
+}
+
+func TestAMTThresholdTracksUtilization(t *testing.T) {
+	eng, ls, net, tr := build(t)
+	amt := NewAMT(net, AMTConfig{})
+	amt.Start()
+
+	// Idle fabric: thresholds sit at the low end.
+	eng.RunUntil(2 * sim.Millisecond)
+	p := net.PortFrom(ls.LeafOf(ls.Hosts[0]), ls.Graph.Node(ls.Hosts[0]).Links[0])
+	if got := p.ECN(0).KminBytes; got != 10<<10 {
+		t.Fatalf("idle threshold = %d, want 10KB", got)
+	}
+
+	// Saturate host 0's downlink: its threshold must rise.
+	tr.StartFlow(ls.Hosts[1], ls.Hosts[0], 8<<20, 0)
+	eng.RunUntil(6 * sim.Millisecond)
+	if got := p.ECN(0).KminBytes; got < 100<<10 {
+		t.Fatalf("threshold under saturation = %d, want near 200KB", got)
+	}
+	// Back to idle after the flow ends.
+	eng.RunUntil(80 * sim.Millisecond)
+	if got := p.ECN(0).KminBytes; got != 10<<10 {
+		t.Fatalf("threshold after drain = %d, want 10KB", got)
+	}
+	amt.Stop()
+}
+
+func TestAMTStopFreezesConfig(t *testing.T) {
+	eng, ls, net, tr := build(t)
+	amt := NewAMT(net, AMTConfig{})
+	amt.Start()
+	tr.StartFlow(ls.Hosts[1], ls.Hosts[0], 4<<20, 0)
+	eng.RunUntil(3 * sim.Millisecond)
+	amt.Stop()
+	p := net.PortFrom(ls.LeafOf(ls.Hosts[0]), ls.Graph.Node(ls.Hosts[0]).Links[0])
+	frozen := p.ECN(0)
+	eng.RunUntil(50 * sim.Millisecond)
+	if p.ECN(0) != frozen {
+		t.Fatal("config changed after Stop")
+	}
+}
+
+func TestQAECNThresholdFollowsQueue(t *testing.T) {
+	eng, ls, net, tr := build(t)
+	// Gain 1 makes the EWMA the instantaneous queue, so the threshold
+	// visibly tracks the incast transient before DCQCN drains it.
+	q := NewQAECN(net, QAECNConfig{Gain: 1})
+	q.Start()
+
+	p := net.PortFrom(ls.LeafOf(ls.Hosts[0]), ls.Graph.Node(ls.Hosts[0]).Links[0])
+	if got := p.ECN(0).KminBytes; got != 5<<10 {
+		t.Fatalf("idle threshold = %d, want floor 5KB", got)
+	}
+
+	// Three senders converge: queue builds, threshold follows it upward.
+	tr.StartFlow(ls.Hosts[1], ls.Hosts[0], 4<<20, 0)
+	tr.StartFlow(ls.Hosts[2], ls.Hosts[0], 4<<20, 0)
+	tr.StartFlow(ls.Hosts[3], ls.Hosts[0], 4<<20, 0)
+	var peak int
+	tick := sim.NewTicker(eng, 100*sim.Microsecond, func(sim.Time) {
+		if k := p.ECN(0).KminBytes; k > peak {
+			peak = k
+		}
+	})
+	eng.RunUntil(20 * sim.Millisecond)
+	tick.Stop()
+	if peak <= 5<<10 {
+		t.Fatalf("threshold never rose above the floor (peak %d)", peak)
+	}
+	if peak > 400<<10 {
+		t.Fatalf("threshold exceeded cap: %d", peak)
+	}
+	// Drained: decays back toward the floor.
+	eng.RunUntil(100 * sim.Millisecond)
+	if got := p.ECN(0).KminBytes; got != 5<<10 {
+		t.Fatalf("threshold after drain = %d, want 5KB", got)
+	}
+}
+
+func TestQAECNMarksMicrobursts(t *testing.T) {
+	eng, ls, net, tr := build(t)
+	q := NewQAECN(net, QAECNConfig{LowKB: 2})
+	q.Start()
+	var marks uint64
+	done := 0
+	trDone := func() {
+		for _, p := range net.SwitchPorts() {
+			marks += p.Stats().TxMarkedPackets
+		}
+	}
+	tr.OnFlowComplete(func(*dcqcn.Flow) { done++ })
+	// Sudden 3:1 burst into a quiet port: the low adapted threshold should
+	// mark the burst aggressively.
+	for _, src := range []topo.NodeID{ls.Hosts[1], ls.Hosts[2], ls.Hosts[3]} {
+		tr.StartFlow(src, ls.Hosts[0], 500_000, 0)
+	}
+	eng.RunUntil(50 * sim.Millisecond)
+	trDone()
+	if done != 3 {
+		t.Fatalf("flows done = %d", done)
+	}
+	if marks == 0 {
+		t.Fatal("microburst produced no CE marks under QAECN")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	a := AMTConfig{}.withDefaults()
+	if a.Interval == 0 || a.HighKB <= a.LowKB || a.Pmax == 0 {
+		t.Fatalf("AMT defaults: %+v", a)
+	}
+	qc := QAECNConfig{}.withDefaults()
+	if qc.Eta == 0 || qc.Gain == 0 || qc.HighKB <= qc.LowKB {
+		t.Fatalf("QAECN defaults: %+v", qc)
+	}
+}

@@ -1,0 +1,169 @@
+// Package mat provides the small dense linear-algebra kernels the neural
+// network substrate needs: row-major matrices, matrix-vector products, and
+// rank-one updates. Everything is float64 and allocation-conscious — the
+// hot loops (policy inference at every tuning interval on every agent) run
+// with caller-provided destination buffers.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j].
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero clears all entries.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes dst = m · x. dst must have length Rows and not alias x.
+func (m *Matrix) MulVec(x, dst []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("mat: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = mᵀ · x. dst must have length Cols and not alias x.
+func (m *Matrix) MulVecT(x, dst []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("mat: MulVecT dimension mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// AddOuter performs the rank-one update m += scale · a·bᵀ, the gradient
+// accumulation step of a linear layer.
+func (m *Matrix) AddOuter(a, b []float64, scale float64) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic("mat: AddOuter dimension mismatch")
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		f := scale * ai
+		for j, bj := range b {
+			row[j] += f * bj
+		}
+	}
+}
+
+// Vector helpers.
+
+// Dot returns aᵀb.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy performs y += alpha·x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Clone copies a vector.
+func Clone(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}
+
+// ArgMax returns the index of the largest element (first on ties).
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("mat: ArgMax of empty vector")
+	}
+	best := 0
+	for i, v := range x[1:] {
+		if v > x[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// Norm2 returns the Euclidean norm.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,29 @@
+package netsim
+
+// fifo is a slice-backed packet queue with amortized O(1) push/pop.
+type fifo struct {
+	buf  []*Packet
+	head int
+}
+
+func (f *fifo) push(p *Packet) { f.buf = append(f.buf, p) }
+
+func (f *fifo) pop() *Packet {
+	if f.head >= len(f.buf) {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	// Reclaim space once the dead prefix dominates.
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+func (f *fifo) empty() bool { return f.len() == 0 }

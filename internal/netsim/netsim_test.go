@@ -1,0 +1,473 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// collector is a test Endpoint recording delivered packets.
+type collector struct {
+	pkts []*Packet
+	at   []sim.Time
+	eng  *sim.Engine
+}
+
+func (c *collector) Deliver(p *Packet) {
+	c.pkts = append(c.pkts, p)
+	c.at = append(c.at, c.eng.Now())
+}
+
+func buildTiny(t *testing.T, cfg Config) (*sim.Engine, *topo.LeafSpine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(topo.TinyScale())
+	net := New(eng, ls.Graph, 1, cfg)
+	return eng, ls, net
+}
+
+func TestFIFOOrderAndReclaim(t *testing.T) {
+	var f fifo
+	for i := 0; i < 500; i++ {
+		f.push(&Packet{Seq: int64(i)})
+	}
+	for i := 0; i < 500; i++ {
+		p := f.pop()
+		if p == nil || p.Seq != int64(i) {
+			t.Fatalf("pop %d out of order", i)
+		}
+	}
+	if !f.empty() || f.pop() != nil {
+		t.Fatal("fifo not empty after draining")
+	}
+	// Interleaved push/pop exercises the compaction path.
+	for i := 0; i < 1000; i++ {
+		f.push(&Packet{Seq: int64(i)})
+		if i%2 == 1 {
+			f.pop()
+			f.pop()
+		}
+	}
+	if f.len() != 0 {
+		t.Fatalf("len = %d after balanced ops", f.len())
+	}
+}
+
+func TestMarkProb(t *testing.T) {
+	c := ECNConfig{Enabled: true, KminBytes: 100, KmaxBytes: 200, Pmax: 0.5}
+	if p := c.markProb(50); p != 0 {
+		t.Fatalf("below Kmin: p = %v", p)
+	}
+	if p := c.markProb(250); p != 1 {
+		t.Fatalf("above Kmax: p = %v", p)
+	}
+	if p := c.markProb(150); p != 0.25 {
+		t.Fatalf("midpoint: p = %v, want 0.25", p)
+	}
+	if p := (ECNConfig{}).markProb(1 << 30); p != 0 {
+		t.Fatalf("disabled config marks: p = %v", p)
+	}
+	// Degenerate Kmin==Kmax behaves as a step function.
+	step := ECNConfig{Enabled: true, KminBytes: 100, KmaxBytes: 100, Pmax: 0.5}
+	if step.markProb(100) != 1 || step.markProb(99) != 0 {
+		t.Fatal("degenerate thresholds not a step function")
+	}
+}
+
+func TestSingleQueueMarkProbProperty(t *testing.T) {
+	c := ECNConfig{Enabled: true, KminBytes: 1000, KmaxBytes: 5000, Pmax: 0.8}
+	f := func(q uint16) bool {
+		p := c.markProb(int(q))
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndToEndDeliveryTiming(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1] // same leaf
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h1, rx)
+
+	net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000, ECT: true})
+	eng.Run()
+
+	if len(rx.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(rx.pkts))
+	}
+	// 2×(800ns serialize @10G + 1us prop) = 3.6us.
+	want := 3600 * sim.Nanosecond
+	if rx.at[0] != want {
+		t.Fatalf("delivery at %v, want %v", rx.at[0], want)
+	}
+	if rx.pkts[0].CE {
+		t.Fatal("packet marked on an idle network")
+	}
+}
+
+func TestCrossLeafTiming(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h2 := ls.Hosts[0], ls.Hosts[2] // different leaves
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h2, rx)
+	net.SendFromHost(h0, &Packet{Flow: 9, Src: h0, Dst: h2, Kind: Data, Size: 1000, ECT: true})
+	eng.Run()
+	if len(rx.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(rx.pkts))
+	}
+	// 800ns + 400ns + 400ns + 800ns serialize, 4us propagation.
+	want := 6400 * sim.Nanosecond
+	if rx.at[0] != want {
+		t.Fatalf("delivery at %v, want %v", rx.at[0], want)
+	}
+}
+
+func TestREDMarkingAboveKmax(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{
+		DefaultECN: ECNConfig{Enabled: true, KminBytes: 2000, KmaxBytes: 4000, Pmax: 1},
+	})
+	h0, h1, h2 := ls.Hosts[0], ls.Hosts[1], ls.Hosts[2]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h1, rx)
+	// Two senders converge on h1 (2:1 incast): the leaf egress queue builds
+	// far past Kmax, so late packets must be marked and early ones must not.
+	for i := 0; i < 25; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000, Seq: int64(i) * 1000, ECT: true})
+		net.SendFromHost(h2, &Packet{Flow: 2, Src: h2, Dst: h1, Kind: Data, Size: 1000, Seq: int64(i) * 1000, ECT: true})
+	}
+	eng.Run()
+	if len(rx.pkts) != 50 {
+		t.Fatalf("delivered %d packets, want 50", len(rx.pkts))
+	}
+	marked := 0
+	for _, p := range rx.pkts {
+		if p.CE {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Fatal("no packets marked despite deep queue")
+	}
+	if rx.pkts[0].CE || rx.pkts[1].CE {
+		t.Fatal("first packets marked with empty queue")
+	}
+	// Everything once the queue exceeded Kmax must be marked.
+	if !rx.pkts[49].CE {
+		t.Fatal("tail packet unmarked at saturated queue")
+	}
+}
+
+func TestNonECTNeverMarked(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{
+		DefaultECN: ECNConfig{Enabled: true, KminBytes: 0, KmaxBytes: 1, Pmax: 1},
+	})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h1, rx)
+	for i := 0; i < 20; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000, ECT: false})
+	}
+	eng.Run()
+	for _, p := range rx.pkts {
+		if p.CE {
+			t.Fatal("non-ECT packet got CE mark")
+		}
+	}
+}
+
+func TestBufferOverflowDrops(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{BufferPerQueue: 5000})
+	h0, h1, h2 := ls.Hosts[0], ls.Hosts[1], ls.Hosts[2]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h1, rx)
+	for i := 0; i < 50; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000})
+		net.SendFromHost(h2, &Packet{Flow: 2, Src: h2, Dst: h1, Kind: Data, Size: 1000})
+	}
+	eng.Run()
+	leaf := ls.LeafOf(h0)
+	leafPort := net.PortFrom(leaf, ls.Graph.Node(h1).Links[0])
+	drops := leafPort.Stats().DropsOverflow
+	if drops == 0 {
+		t.Fatal("no drops with a 5KB buffer and 100KB burst")
+	}
+	if got := len(rx.pkts) + int(drops); got != 100 {
+		t.Fatalf("delivered+dropped = %d, want 100", got)
+	}
+}
+
+func TestControlPriority(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h1, rx)
+	// Queue a burst of data, then a CNP. The CNP must overtake everything
+	// still queued at the host NIC.
+	for i := 0; i < 10; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000, Seq: int64(i)})
+	}
+	net.SendFromHost(h0, &Packet{Flow: 2, Src: h0, Dst: h1, Kind: CNP, Size: 64})
+	eng.Run()
+	if len(rx.pkts) != 11 {
+		t.Fatalf("delivered %d, want 11", len(rx.pkts))
+	}
+	pos := -1
+	for i, p := range rx.pkts {
+		if p.Kind == CNP {
+			pos = i
+		}
+	}
+	if pos > 2 {
+		t.Fatalf("CNP delivered at position %d; strict priority violated", pos)
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h2 := ls.Hosts[0], ls.Hosts[2]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h2, rx)
+	for f := 0; f < 64; f++ {
+		net.SendFromHost(h0, &Packet{Flow: FlowID(f), Src: h0, Dst: h2, Kind: Data, Size: 1000})
+	}
+	eng.Run()
+	leaf := ls.LeafOf(h0)
+	var used int
+	for _, sp := range ls.Spines {
+		for _, lid := range ls.Graph.Node(leaf).Links {
+			l := ls.Graph.Link(lid)
+			if l.Peer(leaf) == sp {
+				if net.PortFrom(leaf, lid).Stats().TxPackets > 0 {
+					used++
+				}
+			}
+		}
+	}
+	if used != len(ls.Spines) {
+		t.Fatalf("ECMP used %d/%d spines for 64 flows", used, len(ls.Spines))
+	}
+}
+
+func TestECMPFlowConsistency(t *testing.T) {
+	// All packets of one flow must take the same path (no reordering).
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h2 := ls.Hosts[0], ls.Hosts[2]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h2, rx)
+	for i := 0; i < 50; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 7, Src: h0, Dst: h2, Kind: Data, Size: 1000, Seq: int64(i)})
+	}
+	eng.Run()
+	for i, p := range rx.pkts {
+		if p.Seq != int64(i) {
+			t.Fatalf("packet %d arrived with seq %d: reordered within flow", i, p.Seq)
+		}
+	}
+}
+
+func TestLinkFailureAndRecovery(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h2 := ls.Hosts[0], ls.Hosts[2]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h2, rx)
+
+	// Fail every uplink of h0's leaf: h2 becomes unreachable.
+	leaf := ls.LeafOf(h0)
+	var uplinks []topo.LinkID
+	for _, lid := range ls.Graph.Node(leaf).Links {
+		if ls.Graph.Node(ls.Graph.Link(lid).Peer(leaf)).Kind == topo.Spine {
+			uplinks = append(uplinks, lid)
+		}
+	}
+	net.SetLinksUp(uplinks, false)
+	net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h2, Kind: Data, Size: 1000})
+	eng.Run()
+	if len(rx.pkts) != 0 {
+		t.Fatal("packet delivered across a partitioned fabric")
+	}
+	if net.DropsUnreachable() == 0 {
+		t.Fatal("no unreachable drop recorded")
+	}
+
+	// Restore one uplink: traffic flows again over the surviving path.
+	net.SetLinkUp(uplinks[0], true)
+	net.SendFromHost(h0, &Packet{Flow: 2, Src: h0, Dst: h2, Kind: Data, Size: 1000})
+	eng.Run()
+	if len(rx.pkts) != 1 {
+		t.Fatalf("delivered %d after restore, want 1", len(rx.pkts))
+	}
+}
+
+func TestLinkDownDropAtTransmit(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h1, rx)
+	// Enqueue, then cut the access link of h1 before the leaf transmits.
+	for i := 0; i < 5; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000})
+	}
+	accessLink := ls.Graph.Node(h1).Links[0]
+	eng.After(2*sim.Microsecond, func() { net.SetLinkUp(accessLink, false) })
+	eng.Run()
+	leafPort := net.PortFrom(ls.LeafOf(h1), accessLink)
+	if leafPort.Stats().DropsLinkDown == 0 && len(rx.pkts) == 5 {
+		t.Fatal("no packets dropped on a downed link")
+	}
+	if len(rx.pkts)+int(leafPort.Stats().DropsLinkDown)+int(net.DropsUnreachable()) != 5 {
+		t.Fatalf("conservation violated: rx=%d down=%d unreach=%d",
+			len(rx.pkts), leafPort.Stats().DropsLinkDown, net.DropsUnreachable())
+	}
+}
+
+func TestMultiQueueIsolationAndECN(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{
+		DataQueues: 2,
+		DefaultECN: ECNConfig{Enabled: true, KminBytes: 1 << 20, KmaxBytes: 2 << 20, Pmax: 1},
+	})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h1, rx)
+	leaf := ls.LeafOf(h0)
+	leafPort := net.PortFrom(leaf, ls.Graph.Node(h1).Links[0])
+	// Aggressive marking on class 1 only.
+	// Kmin == Kmax == 0 acts as "mark everything".
+	leafPort.SetECN(1, ECNConfig{Enabled: true, KminBytes: 0, KmaxBytes: 0, Pmax: 1})
+
+	for i := 0; i < 20; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000, Class: 0, ECT: true})
+		net.SendFromHost(h0, &Packet{Flow: 2, Src: h0, Dst: h1, Kind: Data, Size: 1000, Class: 1, ECT: true})
+	}
+	eng.Run()
+	var marked0, marked1 int
+	for _, p := range rx.pkts {
+		if p.CE {
+			if p.Class == 0 {
+				marked0++
+			} else {
+				marked1++
+			}
+		}
+	}
+	if marked0 != 0 {
+		t.Fatalf("class 0 marked %d times with huge thresholds", marked0)
+	}
+	if marked1 != 20 {
+		t.Fatalf("class 1 marked %d/20 with zero thresholds", marked1)
+	}
+	if leafPort.NumQueues() != 2 {
+		t.Fatalf("NumQueues = %d", leafPort.NumQueues())
+	}
+}
+
+func TestTransmitTapFires(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1]
+	net.RegisterEndpoint(h1, &collector{eng: eng})
+	leafPort := net.PortFrom(ls.LeafOf(h0), ls.Graph.Node(h1).Links[0])
+	seen := 0
+	leafPort.OnTransmit(func(p *Packet) { seen++ })
+	for i := 0; i < 7; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000})
+	}
+	eng.Run()
+	if seen != 7 {
+		t.Fatalf("tap saw %d packets, want 7", seen)
+	}
+}
+
+func TestPortStatsAccounting(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1]
+	net.RegisterEndpoint(h1, &collector{eng: eng})
+	for i := 0; i < 10; i++ {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000})
+	}
+	eng.Run()
+	st := net.HostPort(h0).Stats()
+	if st.TxPackets != 10 || st.TxBytes != 10000 {
+		t.Fatalf("host port tx = %d pkts / %d B", st.TxPackets, st.TxBytes)
+	}
+	if st.EnqPackets != 10 {
+		t.Fatalf("EnqPackets = %d", st.EnqPackets)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, int) {
+		eng := sim.NewEngine()
+		ls := topo.BuildLeafSpine(topo.TinyScale())
+		net := New(eng, ls.Graph, 42, Config{
+			DefaultECN: ECNConfig{Enabled: true, KminBytes: 3000, KmaxBytes: 9000, Pmax: 0.3},
+		})
+		rx := &collector{eng: eng}
+		net.RegisterEndpoint(ls.Hosts[3], rx)
+		for i := 0; i < 200; i++ {
+			net.SendFromHost(ls.Hosts[0], &Packet{Flow: FlowID(i % 5), Src: ls.Hosts[0], Dst: ls.Hosts[3], Kind: Data, Size: 1000, ECT: true})
+		}
+		eng.Run()
+		marked := 0
+		for _, p := range rx.pkts {
+			if p.CE {
+				marked++
+			}
+		}
+		return eng.Fired(), marked
+	}
+	f1, m1 := run()
+	f2, m2 := run()
+	if f1 != f2 || m1 != m2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", f1, m1, f2, m2)
+	}
+}
+
+// Property: bytes are conserved through a port — everything enqueued is
+// eventually transmitted or dropped, with nothing left queued after drain.
+func TestPortByteConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, bufKB uint8) bool {
+		eng := sim.NewEngine()
+		ls := topo.BuildLeafSpine(topo.TinyScale())
+		net := New(eng, ls.Graph, 9, Config{BufferPerQueue: int(bufKB%32+1) * 1024})
+		h0, h1, h2 := ls.Hosts[0], ls.Hosts[1], ls.Hosts[2]
+		net.RegisterEndpoint(h1, &collector{eng: eng})
+		var offered uint64
+		for i, sz := range sizes {
+			size := int(sz%1400) + 1
+			src := h0
+			if i%2 == 1 {
+				src = h2
+			}
+			net.SendFromHost(src, &Packet{Flow: FlowID(i), Src: src, Dst: h1, Kind: Data, Size: size})
+			offered += uint64(size)
+		}
+		eng.Run()
+		leafPort := net.PortFrom(ls.LeafOf(h1), ls.Graph.Node(h1).Links[0])
+		st := leafPort.Stats()
+		if leafPort.QueueBytes() != 0 {
+			return false
+		}
+		// Everything the port accepted it transmitted.
+		return st.EnqBytes == st.TxBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSentAtStamping(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1]
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(h1, rx)
+	eng.After(5*sim.Microsecond, func() {
+		net.SendFromHost(h0, &Packet{Flow: 1, Src: h0, Dst: h1, Kind: Data, Size: 1000})
+	})
+	eng.Run()
+	if rx.pkts[0].SentAt != 5*sim.Microsecond {
+		t.Fatalf("SentAt = %v, want 5us", rx.pkts[0].SentAt)
+	}
+}

@@ -1,0 +1,66 @@
+// Package netsim is a packet-level data-center network simulator.
+//
+// It models hosts, switches with shared-buffer egress queues, RED/ECN
+// marking, ECMP routing over a topo.Graph, link serialization and
+// propagation, and link failures. Transports (e.g. dcqcn) sit on top as
+// Endpoints; ECN controllers (PET, ACC, static) sit on the side, reading
+// per-port statistics and writing per-queue ECN configurations.
+package netsim
+
+import (
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// FlowID identifies one transport flow (an RDMA queue pair in the paper's
+// setting). IDs are assigned by the transport layer.
+type FlowID uint64
+
+// PacketKind separates bulk data from the two control-plane packet types the
+// DCQCN loop needs. Control packets ride a strict-priority queue, mirroring
+// the dedicated CNP priority class of RoCEv2 deployments.
+type PacketKind uint8
+
+const (
+	Data PacketKind = iota
+	Ack
+	CNP
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case CNP:
+		return "cnp"
+	default:
+		return "?"
+	}
+}
+
+// Packet is one unit on the wire. Packets are created by transports and
+// owned by the network until delivered.
+type Packet struct {
+	Flow FlowID
+	Src  topo.NodeID
+	Dst  topo.NodeID
+	Kind PacketKind
+	Size int   // bytes on the wire, headers included
+	Seq  int64 // cumulative byte offset of the first payload byte
+	Last bool  // true on the final data packet of a flow
+
+	ECT bool // ECN-capable transport
+	CE  bool // congestion-experienced mark, set by RED at a switch
+
+	Class  int      // data queue class at multi-queue ports (0 = default)
+	SentAt sim.Time // first enqueue time at the source NIC
+
+	// arrivedVia is per-hop transient state: the ingress link at the
+	// switch currently holding the packet, for PFC attribution.
+	arrivedVia topo.LinkID
+}
+
+// Control reports whether the packet belongs on the strict-priority queue.
+func (p *Packet) Control() bool { return p.Kind != Data }

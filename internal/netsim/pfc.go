@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"pet/internal/topo"
+)
+
+// Priority Flow Control (IEEE 802.1Qbb), the hop-by-hop backpressure that
+// makes production RoCE fabrics lossless underneath DCQCN. The model:
+//
+//   - Every switch attributes its queued data bytes to the ingress link
+//     each packet arrived on.
+//   - When one ingress link's resident bytes exceed XOFF, the switch sends
+//     a PAUSE to the upstream peer, freezing that peer's data transmission
+//     toward us (control packets — ACKs and CNPs — ride the unpaused
+//     priority, as RoCE deployments configure).
+//   - When the attribution drains below XON, a RESUME follows.
+//
+// Pause signalling crosses the link with its propagation delay, so the
+// usual PFC skid (in-flight bytes after XOFF) is modelled; XOFF must leave
+// that much headroom below the buffer cap.
+type PFCConfig struct {
+	Enabled   bool
+	XOFFBytes int // per-(switch, ingress link) attribution high watermark
+	XONBytes  int // low watermark; must be < XOFFBytes
+}
+
+func (c PFCConfig) withDefaults() PFCConfig {
+	if c.XOFFBytes == 0 {
+		c.XOFFBytes = 512 << 10
+	}
+	if c.XONBytes == 0 {
+		c.XONBytes = c.XOFFBytes / 2
+	}
+	return c
+}
+
+// pfcState tracks one switch's ingress attribution and pause signalling.
+type pfcState struct {
+	resident map[topo.LinkID]int  // bytes queued here per ingress link
+	pausedUp map[topo.LinkID]bool // PAUSE currently asserted toward peer
+}
+
+// PFCStats summarizes pause activity for observability and tests.
+type PFCStats struct {
+	Pauses  uint64
+	Resumes uint64
+}
+
+// pfcArrived accounts an enqueued data packet against its ingress link and
+// asserts PAUSE upstream if the watermark is crossed.
+func (n *Network) pfcArrived(sw topo.NodeID, via topo.LinkID, pkt *Packet) {
+	st := n.pfc[sw]
+	if st == nil {
+		st = &pfcState{resident: map[topo.LinkID]int{}, pausedUp: map[topo.LinkID]bool{}}
+		n.pfc[sw] = st
+	}
+	st.resident[via] += pkt.Size
+	if !st.pausedUp[via] && st.resident[via] >= n.pfcCfg.XOFFBytes {
+		st.pausedUp[via] = true
+		n.pfcStats.Pauses++
+		link := n.g.Link(via)
+		peerPort := n.PortFrom(link.Peer(sw), via)
+		n.eng.After(link.Delay, func() { peerPort.setPaused(true) })
+	}
+}
+
+// pfcDeparted releases attribution when the packet leaves the switch and
+// sends RESUME once the ingress drains below XON.
+func (n *Network) pfcDeparted(sw topo.NodeID, via topo.LinkID, pkt *Packet) {
+	st := n.pfc[sw]
+	if st == nil {
+		return
+	}
+	st.resident[via] -= pkt.Size
+	if st.pausedUp[via] && st.resident[via] <= n.pfcCfg.XONBytes {
+		st.pausedUp[via] = false
+		n.pfcStats.Resumes++
+		link := n.g.Link(via)
+		peerPort := n.PortFrom(link.Peer(sw), via)
+		n.eng.After(link.Delay, func() { peerPort.setPaused(false) })
+	}
+}
+
+// PFCStats returns cumulative pause/resume counts (zero when disabled).
+func (n *Network) PFCStats() PFCStats { return n.pfcStats }

@@ -1,0 +1,74 @@
+package netsim
+
+import "pet/internal/topo"
+
+// Shared-buffer management with Dynamic Threshold (DT, Choudhury–Hahne) —
+// how real shallow-buffered switches apportion one memory pool across
+// ports: a queue may grow only while
+//
+//	queueBytes < AlphaDT × (PoolBytes − usedBytes)
+//
+// so heavily shared pools squeeze each queue's admission limit. This is
+// the buffer model behind the BCC line of work the paper cites; with it
+// enabled, per-queue caps emerge from contention instead of a static
+// BufferPerQueue.
+type SharedBufferConfig struct {
+	Enabled   bool
+	PoolBytes int     // per switch (default 1 MiB)
+	AlphaDT   float64 // DT scale factor (default 1)
+}
+
+func (c SharedBufferConfig) withDefaults() SharedBufferConfig {
+	if c.PoolBytes == 0 {
+		c.PoolBytes = 1 << 20
+	}
+	if c.AlphaDT == 0 {
+		c.AlphaDT = 1
+	}
+	return c
+}
+
+// sharedBufState tracks one switch's pool occupancy.
+type sharedBufState struct {
+	used int
+}
+
+// sharedAdmit reports whether a data packet may enter one of sw's queues,
+// and accounts it if so. Hosts are never pool-managed.
+func (n *Network) sharedAdmit(sw topo.NodeID, qBytes, size int) bool {
+	if !n.sbCfg.Enabled || n.g.Node(sw).Kind == topo.Host {
+		return true
+	}
+	st := n.sharedBuf[sw]
+	if st == nil {
+		st = &sharedBufState{}
+		n.sharedBuf[sw] = st
+	}
+	free := n.sbCfg.PoolBytes - st.used
+	if size > free {
+		return false
+	}
+	if float64(qBytes+size) > n.sbCfg.AlphaDT*float64(free) {
+		return false
+	}
+	st.used += size
+	return true
+}
+
+// sharedRelease returns a departed packet's bytes to the pool.
+func (n *Network) sharedRelease(sw topo.NodeID, size int) {
+	if !n.sbCfg.Enabled || n.g.Node(sw).Kind == topo.Host {
+		return
+	}
+	if st := n.sharedBuf[sw]; st != nil {
+		st.used -= size
+	}
+}
+
+// SharedBufferUsed returns a switch's current pool occupancy in bytes.
+func (n *Network) SharedBufferUsed(sw topo.NodeID) int {
+	if st := n.sharedBuf[sw]; st != nil {
+		return st.used
+	}
+	return 0
+}

@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"testing"
+
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+func sbFixture(t *testing.T, sb SharedBufferConfig) (*sim.Engine, *topo.LeafSpine, *Network, *collector) {
+	t.Helper()
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(topo.TinyScale())
+	net := New(eng, ls.Graph, 2, Config{
+		BufferPerQueue: 64 << 20, // enormous per-queue cap: the pool governs
+		SharedBuffer:   sb,
+	})
+	rx := &collector{eng: eng}
+	net.RegisterEndpoint(ls.Hosts[0], rx)
+	return eng, ls, net, rx
+}
+
+func TestSharedBufferBoundsOccupancy(t *testing.T) {
+	eng, ls, net, _ := sbFixture(t, SharedBufferConfig{Enabled: true, PoolBytes: 32 << 10, AlphaDT: 8})
+	blast(ls, net, 100) // 300 KB toward one leaf
+	leaf := ls.LeafOf(ls.Hosts[0])
+	var peak int
+	tick := sim.NewTicker(eng, 10*sim.Microsecond, func(sim.Time) {
+		if u := net.SharedBufferUsed(leaf); u > peak {
+			peak = u
+		}
+	})
+	eng.RunUntil(5 * sim.Millisecond)
+	tick.Stop()
+	eng.Run() // drain the remainder with the ticker stopped
+	if peak == 0 {
+		t.Fatal("pool never used")
+	}
+	if peak > 32<<10 {
+		t.Fatalf("pool occupancy %d exceeded PoolBytes", peak)
+	}
+	if net.SharedBufferUsed(leaf) != 0 {
+		t.Fatalf("pool not drained: %d bytes leaked", net.SharedBufferUsed(leaf))
+	}
+	if drops := totalDrops(net); drops == 0 {
+		t.Fatal("no DT drops despite 300KB burst into a 32KB pool")
+	}
+}
+
+func TestSharedBufferDTThresholdShrinksUnderSharing(t *testing.T) {
+	// With AlphaDT = 1 and an empty pool, a queue may hold at most half the
+	// pool (q < α·(P−q) → q < P/2). Verify a single burst saturates near
+	// that point rather than the full pool.
+	eng, ls, net, _ := sbFixture(t, SharedBufferConfig{Enabled: true, PoolBytes: 100 << 10, AlphaDT: 1})
+	// One sender only: a single queue fills toward its DT limit.
+	for i := 0; i < 200; i++ {
+		net.SendFromHost(ls.Hosts[1], &Packet{
+			Flow: 1, Src: ls.Hosts[1], Dst: ls.Hosts[0], Kind: Data, Size: 1000, Seq: int64(i),
+		})
+	}
+	leaf := ls.LeafOf(ls.Hosts[0])
+	leafPort := net.PortFrom(leaf, ls.Graph.Node(ls.Hosts[0]).Links[0])
+	var peakQ int
+	tick := sim.NewTicker(eng, 5*sim.Microsecond, func(sim.Time) {
+		if q := leafPort.QueueBytes(); q > peakQ {
+			peakQ = q
+		}
+	})
+	eng.RunUntil(2 * sim.Millisecond)
+	tick.Stop()
+	eng.Run()
+	// Ingress rate == egress rate for a single sender, so the queue itself
+	// barely builds; re-run with two senders to actually push the limit.
+	eng2 := sim.NewEngine()
+	ls2 := topo.BuildLeafSpine(topo.TinyScale())
+	net2 := New(eng2, ls2.Graph, 3, Config{
+		BufferPerQueue: 64 << 20,
+		SharedBuffer:   SharedBufferConfig{Enabled: true, PoolBytes: 100 << 10, AlphaDT: 1},
+	})
+	net2.RegisterEndpoint(ls2.Hosts[0], &collector{eng: eng2})
+	blast(ls2, net2, 200)
+	leaf2 := ls2.LeafOf(ls2.Hosts[0])
+	port2 := net2.PortFrom(leaf2, ls2.Graph.Node(ls2.Hosts[0]).Links[0])
+	peakQ = 0
+	tick2 := sim.NewTicker(eng2, 5*sim.Microsecond, func(sim.Time) {
+		if q := port2.QueueBytes(); q > peakQ {
+			peakQ = q
+		}
+	})
+	eng2.RunUntil(5 * sim.Millisecond)
+	tick2.Stop()
+	eng2.Run()
+	if peakQ == 0 {
+		t.Fatal("queue never built")
+	}
+	// q must stay below ~P/2 + one packet of slack.
+	if peakQ > 51<<10+1000 {
+		t.Fatalf("queue peak %d exceeded the DT bound (~%d)", peakQ, 50<<10)
+	}
+}
+
+func TestSharedBufferDisabledNoAccounting(t *testing.T) {
+	eng, ls, net, rx := sbFixture(t, SharedBufferConfig{})
+	sent := blast(ls, net, 50)
+	eng.Run()
+	if len(rx.pkts) != sent {
+		t.Fatalf("delivered %d/%d with pool disabled and huge queues", len(rx.pkts), sent)
+	}
+	if net.SharedBufferUsed(ls.LeafOf(ls.Hosts[0])) != 0 {
+		t.Fatal("pool accounting active while disabled")
+	}
+}
+
+func TestSharedBufferHostsExempt(t *testing.T) {
+	_, ls, net, _ := sbFixture(t, SharedBufferConfig{Enabled: true, PoolBytes: 1})
+	// Host NIC enqueues must not be pool-limited.
+	ok := net.HostPort(ls.Hosts[1]).Enqueue(&Packet{
+		Flow: 1, Src: ls.Hosts[1], Dst: ls.Hosts[0], Kind: Data, Size: 1000,
+	})
+	if !ok {
+		t.Fatal("host NIC enqueue blocked by switch pool")
+	}
+}

@@ -1,0 +1,86 @@
+package nn
+
+import "math"
+
+// Parametrized is anything exposing aligned parameter and gradient groups.
+type Parametrized interface {
+	Params() [][]float64
+	Grads() [][]float64
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) over one or more
+// parameterized modules, matching the paper's training setup (Sec. 5.2 uses
+// Adam for both actor and critic).
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t       int
+	params  [][]float64
+	grads   [][]float64
+	m, v    [][]float64
+	modules []Parametrized
+}
+
+// NewAdam creates an optimizer over the given modules with standard betas.
+func NewAdam(lr float64, modules ...Parametrized) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, modules: modules}
+	for _, mod := range modules {
+		ps, gs := mod.Params(), mod.Grads()
+		if len(ps) != len(gs) {
+			panic("nn: params/grads group mismatch")
+		}
+		for i := range ps {
+			if len(ps[i]) != len(gs[i]) {
+				panic("nn: params/grads length mismatch")
+			}
+			a.params = append(a.params, ps[i])
+			a.grads = append(a.grads, gs[i])
+			a.m = append(a.m, make([]float64, len(ps[i])))
+			a.v = append(a.v, make([]float64, len(ps[i])))
+		}
+	}
+	return a
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, and returns the pre-clip norm.
+func (a *Adam) ClipGradNorm(maxNorm float64) float64 {
+	total := 0.0
+	for _, g := range a.grads {
+		for _, v := range g {
+			total += v * v
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, g := range a.grads {
+			for i := range g {
+				g[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Step applies one Adam update from the accumulated gradients, then zeroes
+// them.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for gi, p := range a.params {
+		g, m, v := a.grads[gi], a.m[gi], a.v[gi]
+		for i := range p {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			p[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			g[i] = 0
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math"
+
+	"pet/internal/rng"
+)
+
+// Softmax writes the stable softmax of logits into dst and returns it.
+// dst may be nil or alias logits.
+func Softmax(logits, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(logits))
+	}
+	if len(dst) != len(logits) {
+		panic("nn: Softmax length mismatch")
+	}
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return dst
+}
+
+// SampleCategorical draws an index from a probability vector.
+func SampleCategorical(probs []float64, r *rng.Stream) int {
+	u := r.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// LogProb returns log(probs[idx]), floored to avoid -Inf from numerical
+// underflow.
+func LogProb(probs []float64, idx int) float64 {
+	p := probs[idx]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return math.Log(p)
+}
+
+// Entropy returns the Shannon entropy of a probability vector in nats.
+func Entropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 1e-12 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// SoftmaxBackward converts dL/dprobs into dL/dlogits for a softmax output:
+// dlogits_i = p_i * (dprobs_i - Σ_j dprobs_j p_j).
+func SoftmaxBackward(probs, dProbs, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(probs))
+	}
+	dot := 0.0
+	for j, p := range probs {
+		dot += dProbs[j] * p
+	}
+	for i, p := range probs {
+		dst[i] = p * (dProbs[i] - dot)
+	}
+	return dst
+}

@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"pet/internal/rng"
+)
+
+// MLP is a feed-forward stack of layers.
+type MLP struct {
+	layers []Layer
+	sizes  []int
+}
+
+// Activation selects the hidden nonlinearity of NewMLP.
+type Activation int
+
+// Supported activations.
+const (
+	ActTanh Activation = iota
+	ActReLU
+)
+
+// NewMLP builds sizes[0] → sizes[1] → … → sizes[n-1] with the given hidden
+// activation and a linear output layer.
+func NewMLP(sizes []int, act Activation, r *rng.Stream) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for i := 0; i < len(sizes)-1; i++ {
+		m.layers = append(m.layers, NewLinear(sizes[i], sizes[i+1], r))
+		if i < len(sizes)-2 {
+			switch act {
+			case ActTanh:
+				m.layers = append(m.layers, &Tanh{})
+			case ActReLU:
+				m.layers = append(m.layers, &ReLU{})
+			default:
+				panic("nn: unknown activation")
+			}
+		}
+	}
+	return m
+}
+
+// Sizes returns the layer widths the MLP was built with.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// Forward runs the stack on one input. The returned slice is reused across
+// calls; copy it if it must outlive the next Forward.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dL/dy of the most recent Forward through the stack,
+// accumulating parameter gradients, and returns dL/dx.
+func (m *MLP) Backward(dy []float64) []float64 {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		dy = m.layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns all parameter groups.
+func (m *MLP) Params() [][]float64 {
+	var out [][]float64
+	for _, l := range m.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient groups, aligned with Params.
+func (m *MLP) Grads() [][]float64 {
+	var out [][]float64
+	for _, l := range m.layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrad clears accumulated gradients.
+func (m *MLP) ZeroGrad() { zeroGroups(m.Grads()) }
+
+func zeroGroups(groups [][]float64) {
+	for _, g := range groups {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+}
+
+// Snapshot flattens all parameters into one vector (for target networks and
+// model files).
+func (m *MLP) Snapshot() []float64 {
+	var out []float64
+	for _, p := range m.Params() {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Restore loads a Snapshot back into the parameters.
+func (m *MLP) Restore(flat []float64) error {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p)
+	}
+	if len(flat) != n {
+		return fmt.Errorf("nn: snapshot has %d params, model has %d", len(flat), n)
+	}
+	for _, p := range m.Params() {
+		copy(p, flat[:len(p)])
+		flat = flat[len(p):]
+	}
+	return nil
+}
+
+// modelFile is the gob wire format for a saved MLP.
+type modelFile struct {
+	Sizes []int
+	Act   int
+	Flat  []float64
+}
+
+// Encode serializes the MLP (architecture + weights).
+func (m *MLP) Encode() ([]byte, error) {
+	act := ActTanh
+	for _, l := range m.layers {
+		if _, ok := l.(*ReLU); ok {
+			act = ActReLU
+		}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelFile{Sizes: m.sizes, Act: int(act), Flat: m.Snapshot()})
+	return buf.Bytes(), err
+}
+
+// Decode reconstructs an MLP from Encode output.
+func Decode(data []byte) (*MLP, error) {
+	var f modelFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return nil, err
+	}
+	m := NewMLP(f.Sizes, Activation(f.Act), rng.New(0))
+	if err := m.Restore(f.Flat); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,104 @@
+package ppo
+
+import (
+	"pet/internal/nn"
+	"pet/internal/rl"
+	"pet/internal/rng"
+)
+
+// Critic is a standalone value network, used by the CTDE/MAPPO variant
+// where one *centralized* critic is trained over the joint observation of
+// all agents while actors stay local. (The default IPPO Agent embeds its
+// own local critic; this type exists for architectures that share one.)
+type Critic struct {
+	net *nn.MLP
+	opt *nn.Adam
+}
+
+// NewCritic builds an obsDim → hidden… → 1 value network.
+func NewCritic(obsDim int, hidden []int, lr float64, seed int64) *Critic {
+	if obsDim <= 0 {
+		panic("ppo: critic ObsDim required")
+	}
+	if len(hidden) == 0 {
+		hidden = []int{64, 64}
+	}
+	if lr == 0 {
+		lr = 1e-3
+	}
+	sizes := append(append([]int{obsDim}, hidden...), 1)
+	c := &Critic{net: nn.NewMLP(sizes, nn.ActTanh, rng.New(seed))}
+	c.opt = nn.NewAdam(lr, c.net)
+	return c
+}
+
+// Value returns V(s).
+func (c *Critic) Value(state []float64) float64 { return c.net.Forward(state)[0] }
+
+// Fit runs one minibatched regression epoch of V(s) toward the returns and
+// reports the mean squared error before the update.
+func (c *Critic) Fit(states [][]float64, returns []float64, minibatch int) float64 {
+	if len(states) != len(returns) {
+		panic("ppo: critic Fit length mismatch")
+	}
+	if minibatch <= 0 {
+		minibatch = 32
+	}
+	mse := 0.0
+	for lo := 0; lo < len(states); lo += minibatch {
+		hi := lo + minibatch
+		if hi > len(states) {
+			hi = len(states)
+		}
+		invB := 1.0 / float64(hi-lo)
+		for i := lo; i < hi; i++ {
+			v := c.net.Forward(states[i])[0]
+			diff := v - returns[i]
+			mse += diff * diff
+			c.net.Backward([]float64{2 * diff * invB})
+		}
+		c.opt.ClipGradNorm(0.5)
+		c.opt.Step()
+	}
+	if len(states) > 0 {
+		mse /= float64(len(states))
+	}
+	return mse
+}
+
+// UpdateActor runs the clipped-PPO policy update with externally supplied
+// advantages (already normalized by the caller if desired), leaving the
+// agent's local critic untouched. This is the actor half of MAPPO.
+func (a *Agent) UpdateActor(traj *rl.Trajectory, adv []float64) UpdateStats {
+	n := traj.Len()
+	if n == 0 || len(adv) != n {
+		return UpdateStats{}
+	}
+	var stats UpdateStats
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
+		a.r.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < n; lo += a.cfg.Minibatch {
+			hi := lo + a.cfg.Minibatch
+			if hi > n {
+				hi = n
+			}
+			st := a.optimizeActorBatch(traj, idx[lo:hi], adv)
+			stats.PolicyLoss += st.PolicyLoss
+			stats.Entropy += st.Entropy
+			stats.ClipFrac += st.ClipFrac
+			stats.Steps++
+		}
+	}
+	if stats.Steps > 0 {
+		k := float64(stats.Steps)
+		stats.PolicyLoss /= k
+		stats.Entropy /= k
+		stats.ClipFrac /= k
+	}
+	a.updates++
+	return stats
+}

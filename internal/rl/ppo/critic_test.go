@@ -1,0 +1,81 @@
+package ppo
+
+import (
+	"math"
+	"testing"
+
+	"pet/internal/rl"
+	"pet/internal/rng"
+)
+
+func TestCriticFitsFunction(t *testing.T) {
+	c := NewCritic(2, nil, 0.01, 1)
+	r := rng.New(2)
+	var states [][]float64
+	var returns []float64
+	for i := 0; i < 256; i++ {
+		a, b := r.Float64(), r.Float64()
+		states = append(states, []float64{a, b})
+		returns = append(returns, a+2*b)
+	}
+	var mse float64
+	for epoch := 0; epoch < 300; epoch++ {
+		mse = c.Fit(states, returns, 32)
+	}
+	if mse > 0.02 {
+		t.Fatalf("critic MSE %v after training", mse)
+	}
+	if got := c.Value([]float64{0.5, 0.25}); math.Abs(got-1.0) > 0.3 {
+		t.Fatalf("V(0.5,0.25) = %v, want ≈1", got)
+	}
+}
+
+func TestCriticFitValidation(t *testing.T) {
+	c := NewCritic(2, nil, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	c.Fit([][]float64{{1, 2}}, []float64{1, 2}, 8)
+}
+
+func TestUpdateActorLearnsWithExternalAdvantages(t *testing.T) {
+	// Bandit with externally computed advantages: arm 1 has positive
+	// advantage, others negative — the actor must shift mass to arm 1.
+	a := New(Config{ObsDim: 1, Heads: []int{3}, Epochs: 8, Minibatch: 16}, 3)
+	state := []float64{1}
+	for it := 0; it < 60; it++ {
+		traj := &rl.Trajectory{}
+		var adv []float64
+		for i := 0; i < 32; i++ {
+			acts, logp, _ := a.Act(state, true)
+			traj.Add(rl.Transition{State: []float64{1}, Actions: acts, LogProb: logp})
+			if acts[0] == 1 {
+				adv = append(adv, 1)
+			} else {
+				adv = append(adv, -1)
+			}
+		}
+		st := a.UpdateActor(traj, adv)
+		if st.Steps == 0 {
+			t.Fatal("UpdateActor did no work")
+		}
+	}
+	acts, _, _ := a.Act(state, false)
+	if acts[0] != 1 {
+		t.Fatalf("actor converged to arm %d, want 1", acts[0])
+	}
+}
+
+func TestUpdateActorEmptyAndMismatch(t *testing.T) {
+	a := New(Config{ObsDim: 1, Heads: []int{2}}, 4)
+	if st := a.UpdateActor(&rl.Trajectory{}, nil); st.Steps != 0 {
+		t.Fatal("empty trajectory produced steps")
+	}
+	traj := &rl.Trajectory{}
+	traj.Add(rl.Transition{State: []float64{1}, Actions: []int{0}})
+	if st := a.UpdateActor(traj, []float64{1, 2}); st.Steps != 0 {
+		t.Fatal("mismatched advantages accepted")
+	}
+}

@@ -1,0 +1,380 @@
+// Package ppo implements the clipped-surrogate Proximal Policy Optimization
+// actor-critic with multi-discrete action heads and GAE — the building block
+// of PET's IPPO: each switch agent owns one independent ppo.Agent, with no
+// parameter sharing, no shared critic, and no global replay.
+package ppo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+
+	"pet/internal/mat"
+	"pet/internal/nn"
+	"pet/internal/rl"
+	"pet/internal/rng"
+)
+
+// Config parameterizes one agent. Zero values take the paper's settings
+// (Sec. 5.2) where published, and standard PPO defaults elsewhere.
+type Config struct {
+	ObsDim int
+	Heads  []int // categorical head sizes, e.g. {10, 10, 20} for (nmin, nmax, pmax)
+	Hidden []int // hidden widths (default {64, 64})
+
+	ActorLR     float64 // default 4e-4 (paper)
+	CriticLR    float64 // default 1e-3 (paper)
+	Gamma       float64 // default 0.99
+	Lambda      float64 // GAE λ (default 0.95; the paper reports 0.01)
+	ClipEps     float64 // default 0.2 (paper); decayable via SetClipEps
+	Epochs      int     // optimization epochs per update, default 4
+	Minibatch   int     // default 32
+	EntropyCoef float64 // default 0.01
+	MaxGradNorm float64 // default 0.5
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64}
+	}
+	if c.ActorLR == 0 {
+		c.ActorLR = 4e-4
+	}
+	if c.CriticLR == 0 {
+		c.CriticLR = 1e-3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.95
+	}
+	if c.ClipEps == 0 {
+		c.ClipEps = 0.2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 4
+	}
+	if c.Minibatch == 0 {
+		c.Minibatch = 32
+	}
+	if c.EntropyCoef == 0 {
+		c.EntropyCoef = 0.01
+	}
+	if c.MaxGradNorm == 0 {
+		c.MaxGradNorm = 0.5
+	}
+	return c
+}
+
+// Agent is one independent PPO learner.
+type Agent struct {
+	cfg     Config
+	clipEps float64
+
+	trunk  *nn.MLP      // obs -> features
+	heads  []*nn.Linear // features -> logits per head
+	critic *nn.MLP      // obs -> V(s)
+
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+	r         *rng.Stream
+
+	updates int
+
+	// Scratch buffers.
+	probs   [][]float64
+	dLogits [][]float64
+	dTrunk  []float64
+}
+
+// New creates an agent with freshly initialized networks.
+func New(cfg Config, seed int64) *Agent {
+	cfg = cfg.withDefaults()
+	if cfg.ObsDim <= 0 || len(cfg.Heads) == 0 {
+		panic("ppo: ObsDim and Heads are required")
+	}
+	r := rng.New(seed)
+	trunkSizes := append([]int{cfg.ObsDim}, cfg.Hidden...)
+	a := &Agent{
+		cfg:     cfg,
+		clipEps: cfg.ClipEps,
+		trunk:   nn.NewMLP(trunkSizes, nn.ActTanh, r.Split("trunk")),
+		critic:  nn.NewMLP(append(append([]int{cfg.ObsDim}, cfg.Hidden...), 1), nn.ActTanh, r.Split("critic")),
+		r:       r.Split("explore"),
+	}
+	feat := cfg.Hidden[len(cfg.Hidden)-1]
+	actorMods := []nn.Parametrized{a.trunk}
+	for i, h := range cfg.Heads {
+		head := nn.NewLinear(feat, h, r.SplitN("head", i))
+		a.heads = append(a.heads, head)
+		actorMods = append(actorMods, head)
+		a.probs = append(a.probs, make([]float64, h))
+		a.dLogits = append(a.dLogits, make([]float64, h))
+	}
+	a.dTrunk = make([]float64, feat)
+	a.actorOpt = nn.NewAdam(cfg.ActorLR, actorMods...)
+	a.criticOpt = nn.NewAdam(cfg.CriticLR, a.critic)
+	return a
+}
+
+// Config returns the agent's effective configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// ClipEps returns the current clip parameter ε of Eq. (11).
+func (a *Agent) ClipEps() float64 { return a.clipEps }
+
+// SetClipEps overrides ε — PET decays it during online training (Eq. 13).
+func (a *Agent) SetClipEps(e float64) {
+	if e < 0 {
+		e = 0
+	}
+	a.clipEps = e
+}
+
+// Updates returns how many Update calls have completed.
+func (a *Agent) Updates() int { return a.updates }
+
+// forwardPolicy runs trunk+heads for one state and fills a.probs.
+func (a *Agent) forwardPolicy(state []float64) {
+	feat := a.trunk.Forward(state)
+	for i, h := range a.heads {
+		nn.Softmax(h.Forward(feat), a.probs[i])
+	}
+}
+
+// Act selects one action per head. With explore true the policy is sampled;
+// otherwise each head takes its argmax (deterministic execution). It
+// returns the per-head action indices, the joint log-probability and the
+// critic's value estimate.
+func (a *Agent) Act(state []float64, explore bool) (actions []int, logProb, value float64) {
+	a.forwardPolicy(state)
+	actions = make([]int, len(a.heads))
+	for i := range a.heads {
+		if explore {
+			actions[i] = nn.SampleCategorical(a.probs[i], a.r)
+		} else {
+			actions[i] = mat.ArgMax(a.probs[i])
+		}
+		logProb += nn.LogProb(a.probs[i], actions[i])
+	}
+	return actions, logProb, a.Value(state)
+}
+
+// Value returns V(s).
+func (a *Agent) Value(state []float64) float64 {
+	return a.critic.Forward(state)[0]
+}
+
+// UpdateStats summarizes one Update call.
+type UpdateStats struct {
+	PolicyLoss float64
+	ValueLoss  float64
+	Entropy    float64
+	ClipFrac   float64
+	Steps      int
+}
+
+// Update runs Epochs of clipped-PPO optimization over a trajectory
+// (Eq. 11–12). lastValue bootstraps GAE past the final step.
+func (a *Agent) Update(traj *rl.Trajectory, lastValue float64) UpdateStats {
+	n := traj.Len()
+	if n == 0 {
+		return UpdateStats{}
+	}
+	rewards := make([]float64, n)
+	values := make([]float64, n)
+	for i, s := range traj.Steps {
+		rewards[i] = s.Reward
+		values[i] = s.Value
+	}
+	adv, returns := rl.GAE(rewards, values, lastValue, a.cfg.Gamma, a.cfg.Lambda)
+	rl.NormalizeAdvantages(adv)
+
+	var stats UpdateStats
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
+		a.r.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < n; lo += a.cfg.Minibatch {
+			hi := lo + a.cfg.Minibatch
+			if hi > n {
+				hi = n
+			}
+			batch := idx[lo:hi]
+			st := a.optimizeBatch(traj, batch, adv, returns)
+			stats.PolicyLoss += st.PolicyLoss
+			stats.ValueLoss += st.ValueLoss
+			stats.Entropy += st.Entropy
+			stats.ClipFrac += st.ClipFrac
+			stats.Steps++
+		}
+	}
+	if stats.Steps > 0 {
+		k := float64(stats.Steps)
+		stats.PolicyLoss /= k
+		stats.ValueLoss /= k
+		stats.Entropy /= k
+		stats.ClipFrac /= k
+	}
+	a.updates++
+	return stats
+}
+
+// actorSample accumulates the clipped-surrogate + entropy gradients for one
+// transition into the actor networks. Returns the sample's loss terms.
+func (a *Agent) actorSample(tr *rl.Transition, A, invB float64) (loss, entropy float64, clipped bool) {
+	a.forwardPolicy(tr.State)
+	logp := 0.0
+	for h := range a.heads {
+		logp += nn.LogProb(a.probs[h], tr.Actions[h])
+		entropy += nn.Entropy(a.probs[h])
+	}
+	ratio := math.Exp(logp - tr.LogProb)
+	surr1 := ratio * A
+	surr2 := clamp(ratio, 1-a.clipEps, 1+a.clipEps) * A
+	loss = -math.Min(surr1, surr2)
+
+	// dL/dlogp: zero when the clipped branch is active and binding.
+	g := -A * ratio
+	if (A > 0 && ratio > 1+a.clipEps) || (A < 0 && ratio < 1-a.clipEps) {
+		g = 0
+		clipped = true
+	}
+	mat.Fill(a.dTrunk, 0)
+	for h, head := range a.heads {
+		probs := a.probs[h]
+		dl := a.dLogits[h]
+		act := tr.Actions[h]
+		hEnt := nn.Entropy(probs)
+		for j, p := range probs {
+			// Policy-gradient term: g · (δ_{j,act} − p_j).
+			d := -p * g
+			if j == act {
+				d += g
+			}
+			// Entropy bonus term: +c·p_j(log p_j + H).
+			lp := math.Log(math.Max(p, 1e-12))
+			d += a.cfg.EntropyCoef * p * (lp + hEnt)
+			dl[j] = d * invB
+		}
+		mat.Axpy(1, head.Backward(dl), a.dTrunk)
+	}
+	a.trunk.Backward(a.dTrunk)
+	return loss, entropy, clipped
+}
+
+// optimizeBatch accumulates gradients over one minibatch and steps both
+// optimizers.
+func (a *Agent) optimizeBatch(traj *rl.Trajectory, batch []int, adv, returns []float64) UpdateStats {
+	var st UpdateStats
+	invB := 1.0 / float64(len(batch))
+	clipped := 0
+	for _, i := range batch {
+		tr := &traj.Steps[i]
+		loss, entropy, wasClipped := a.actorSample(tr, adv[i], invB)
+		st.PolicyLoss += loss * invB
+		st.Entropy += entropy * invB
+		if wasClipped {
+			clipped++
+		}
+
+		// Critic pass.
+		v := a.critic.Forward(tr.State)[0]
+		diff := v - returns[i]
+		st.ValueLoss += diff * diff * invB
+		a.critic.Backward([]float64{2 * diff * invB})
+	}
+	st.ClipFrac = float64(clipped) / float64(len(batch))
+	a.actorOpt.ClipGradNorm(a.cfg.MaxGradNorm)
+	a.actorOpt.Step()
+	a.criticOpt.ClipGradNorm(a.cfg.MaxGradNorm)
+	a.criticOpt.Step()
+	return st
+}
+
+// optimizeActorBatch is the actor-only half, used when the critic is
+// centralized (MAPPO).
+func (a *Agent) optimizeActorBatch(traj *rl.Trajectory, batch []int, adv []float64) UpdateStats {
+	var st UpdateStats
+	invB := 1.0 / float64(len(batch))
+	clipped := 0
+	for _, i := range batch {
+		loss, entropy, wasClipped := a.actorSample(&traj.Steps[i], adv[i], invB)
+		st.PolicyLoss += loss * invB
+		st.Entropy += entropy * invB
+		if wasClipped {
+			clipped++
+		}
+	}
+	st.ClipFrac = float64(clipped) / float64(len(batch))
+	a.actorOpt.ClipGradNorm(a.cfg.MaxGradNorm)
+	a.actorOpt.Step()
+	return st
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// snapshot is the gob wire format of a serialized agent.
+type snapshot struct {
+	ObsDim int
+	Heads  []int
+	Hidden []int
+	Trunk  []float64
+	HeadPs [][]float64
+	Critic []float64
+}
+
+// Encode serializes the agent's weights (for offline-trained model files).
+func (a *Agent) Encode() ([]byte, error) {
+	s := snapshot{
+		ObsDim: a.cfg.ObsDim,
+		Heads:  a.cfg.Heads,
+		Hidden: a.cfg.Hidden,
+		Trunk:  a.trunk.Snapshot(),
+		Critic: a.critic.Snapshot(),
+	}
+	for _, h := range a.heads {
+		var flat []float64
+		for _, p := range h.Params() {
+			flat = append(flat, p...)
+		}
+		s.HeadPs = append(s.HeadPs, flat)
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(s)
+	return buf.Bytes(), err
+}
+
+// RestoreFrom loads weights saved by Encode into this agent. Architectures
+// must match.
+func (a *Agent) RestoreFrom(data []byte) error {
+	var s snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return err
+	}
+	if err := a.trunk.Restore(s.Trunk); err != nil {
+		return err
+	}
+	if err := a.critic.Restore(s.Critic); err != nil {
+		return err
+	}
+	for i, h := range a.heads {
+		flat := s.HeadPs[i]
+		for _, p := range h.Params() {
+			copy(p, flat[:len(p)])
+			flat = flat[len(p):]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package ppo
+
+import (
+	"math"
+	"testing"
+
+	"pet/internal/rl"
+	"pet/internal/rng"
+)
+
+func TestActShapesAndDeterminism(t *testing.T) {
+	a := New(Config{ObsDim: 4, Heads: []int{3, 5}}, 1)
+	s := []float64{0.1, 0.2, 0.3, 0.4}
+	acts, logp, v := a.Act(s, false)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %v", acts)
+	}
+	if acts[0] < 0 || acts[0] >= 3 || acts[1] < 0 || acts[1] >= 5 {
+		t.Fatalf("action out of range: %v", acts)
+	}
+	if logp > 0 {
+		t.Fatalf("logProb = %v > 0", logp)
+	}
+	if math.IsNaN(v) {
+		t.Fatal("NaN value")
+	}
+	// Deterministic mode is repeatable.
+	acts2, _, _ := a.Act(s, false)
+	if acts[0] != acts2[0] || acts[1] != acts2[1] {
+		t.Fatal("argmax action not deterministic")
+	}
+}
+
+func TestExploreSamplesSpread(t *testing.T) {
+	a := New(Config{ObsDim: 2, Heads: []int{4}}, 2)
+	s := []float64{0, 0}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		acts, _, _ := a.Act(s, true)
+		seen[acts[0]] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("fresh policy explored only %d/4 actions", len(seen))
+	}
+}
+
+// banditTraj builds a trajectory for a stateless bandit where head h's
+// correct arm is rewarded.
+func banditTraj(a *Agent, reward func(acts []int) float64, steps int) (*rl.Trajectory, float64) {
+	traj := &rl.Trajectory{}
+	state := []float64{1}
+	for i := 0; i < steps; i++ {
+		acts, logp, v := a.Act(state, true)
+		traj.Add(rl.Transition{
+			State:   []float64{1},
+			Actions: acts,
+			LogProb: logp,
+			Value:   v,
+			Reward:  reward(acts),
+		})
+	}
+	return traj, a.Value(state)
+}
+
+func TestLearnsBanditSingleHead(t *testing.T) {
+	a := New(Config{ObsDim: 1, Heads: []int{4}, Gamma: 0.01, Lambda: 0.01}, 3)
+	reward := func(acts []int) float64 {
+		if acts[0] == 2 {
+			return 1
+		}
+		return 0
+	}
+	for it := 0; it < 60; it++ {
+		traj, last := banditTraj(a, reward, 64)
+		a.Update(traj, last)
+	}
+	acts, _, _ := a.Act([]float64{1}, false)
+	if acts[0] != 2 {
+		t.Fatalf("policy picked arm %d, want 2", acts[0])
+	}
+	if a.Updates() != 60 {
+		t.Fatalf("Updates = %d", a.Updates())
+	}
+}
+
+func TestLearnsBanditMultiHead(t *testing.T) {
+	a := New(Config{ObsDim: 1, Heads: []int{3, 4}, Gamma: 0.01, Lambda: 0.01}, 4)
+	reward := func(acts []int) float64 {
+		r := 0.0
+		if acts[0] == 1 {
+			r += 0.5
+		}
+		if acts[1] == 3 {
+			r += 0.5
+		}
+		return r
+	}
+	for it := 0; it < 80; it++ {
+		traj, last := banditTraj(a, reward, 64)
+		a.Update(traj, last)
+	}
+	acts, _, _ := a.Act([]float64{1}, false)
+	if acts[0] != 1 || acts[1] != 3 {
+		t.Fatalf("policy picked %v, want [1 3]", acts)
+	}
+}
+
+func TestLearnsContextualPolicy(t *testing.T) {
+	a := New(Config{ObsDim: 1, Heads: []int{2}, Gamma: 0.01, Lambda: 0.01}, 5)
+	r := rng.New(6)
+	for it := 0; it < 80; it++ {
+		traj := &rl.Trajectory{}
+		for i := 0; i < 64; i++ {
+			ctx := float64(r.Intn(2))
+			state := []float64{ctx}
+			acts, logp, v := a.Act(state, true)
+			rew := 0.0
+			if (ctx == 0 && acts[0] == 1) || (ctx == 1 && acts[0] == 0) {
+				rew = 1
+			}
+			traj.Add(rl.Transition{State: []float64{ctx}, Actions: acts, LogProb: logp, Value: v, Reward: rew})
+		}
+		a.Update(traj, 0)
+	}
+	a0, _, _ := a.Act([]float64{0}, false)
+	a1, _, _ := a.Act([]float64{1}, false)
+	if a0[0] != 1 || a1[0] != 0 {
+		t.Fatalf("contextual policy wrong: ctx0→%d ctx1→%d", a0[0], a1[0])
+	}
+}
+
+func TestCriticLearnsValue(t *testing.T) {
+	// Constant reward 1, γ=0.5 → V ≈ 2 in steady state.
+	a := New(Config{ObsDim: 1, Heads: []int{2}, Gamma: 0.5, Lambda: 0.9}, 7)
+	for it := 0; it < 150; it++ {
+		traj, last := banditTraj(a, func([]int) float64 { return 1 }, 64)
+		a.Update(traj, last)
+	}
+	v := a.Value([]float64{1})
+	if math.Abs(v-2) > 0.5 {
+		t.Fatalf("V = %v, want ≈ 2", v)
+	}
+}
+
+func TestUpdateEmptyTrajectory(t *testing.T) {
+	a := New(Config{ObsDim: 1, Heads: []int{2}}, 8)
+	st := a.Update(&rl.Trajectory{}, 0)
+	if st.Steps != 0 {
+		t.Fatalf("stats from empty trajectory: %+v", st)
+	}
+}
+
+func TestClipEpsControl(t *testing.T) {
+	a := New(Config{ObsDim: 1, Heads: []int{2}}, 9)
+	if a.ClipEps() != 0.2 {
+		t.Fatalf("default clip = %v", a.ClipEps())
+	}
+	a.SetClipEps(0.05)
+	if a.ClipEps() != 0.05 {
+		t.Fatal("SetClipEps ignored")
+	}
+	a.SetClipEps(-1)
+	if a.ClipEps() != 0 {
+		t.Fatal("negative clip not floored")
+	}
+}
+
+func TestEncodeRestoreRoundTrip(t *testing.T) {
+	a := New(Config{ObsDim: 3, Heads: []int{4, 5}}, 10)
+	s := []float64{0.5, -0.5, 0.25}
+	wantActs, wantLogp, wantV := a.Act(s, false)
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{ObsDim: 3, Heads: []int{4, 5}}, 999) // different init
+	if err := b.RestoreFrom(data); err != nil {
+		t.Fatal(err)
+	}
+	gotActs, gotLogp, gotV := b.Act(s, false)
+	if gotActs[0] != wantActs[0] || gotActs[1] != wantActs[1] {
+		t.Fatal("restored policy differs")
+	}
+	if math.Abs(gotLogp-wantLogp) > 1e-12 || math.Abs(gotV-wantV) > 1e-12 {
+		t.Fatal("restored outputs differ")
+	}
+	if err := b.RestoreFrom([]byte("garbage")); err == nil {
+		t.Fatal("garbage restored without error")
+	}
+}
+
+func TestUpdateStatsSane(t *testing.T) {
+	a := New(Config{ObsDim: 1, Heads: []int{3}}, 11)
+	traj, last := banditTraj(a, func(acts []int) float64 { return float64(acts[0]) }, 128)
+	st := a.Update(traj, last)
+	if st.Steps == 0 {
+		t.Fatal("no optimization steps")
+	}
+	if st.Entropy <= 0 || st.Entropy > math.Log(3)+1e-9 {
+		t.Fatalf("entropy = %v outside (0, ln3]", st.Entropy)
+	}
+	if st.ClipFrac < 0 || st.ClipFrac > 1 {
+		t.Fatalf("clip frac = %v", st.ClipFrac)
+	}
+	if math.IsNaN(st.PolicyLoss) || math.IsNaN(st.ValueLoss) {
+		t.Fatal("NaN losses")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{ObsDim: 0, Heads: []int{2}},
+		{ObsDim: 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d accepted", i)
+				}
+			}()
+			New(cfg, 1)
+		}()
+	}
+}

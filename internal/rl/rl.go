@@ -1,0 +1,106 @@
+// Package rl holds the pieces shared by the PPO (PET) and DDQN (ACC)
+// learners: trajectories, Generalized Advantage Estimation, exploration
+// schedules, and advantage normalization.
+package rl
+
+import "math"
+
+// Transition is one (s, a, r) step of an agent, with the policy metadata
+// PPO needs for its importance ratios.
+type Transition struct {
+	State   []float64
+	Actions []int // one index per action head (multi-discrete)
+	LogProb float64
+	Value   float64
+	Reward  float64
+}
+
+// Trajectory is a contiguous run of transitions from one agent.
+type Trajectory struct {
+	Steps []Transition
+}
+
+// Add appends a transition.
+func (t *Trajectory) Add(tr Transition) { t.Steps = append(t.Steps, tr) }
+
+// Len returns the number of transitions.
+func (t *Trajectory) Len() int { return len(t.Steps) }
+
+// Reset clears the trajectory for reuse.
+func (t *Trajectory) Reset() { t.Steps = t.Steps[:0] }
+
+// GAE computes Generalized Advantage Estimation (Schulman et al.) per
+// Eq. (9)–(10) of the paper:
+//
+//	δ_t = r_t + γ·V(s_{t+1}) − V(s_t)
+//	Â_t = δ_t + (γλ)·δ_{t+1} + … + (γλ)^{T−t−1}·δ_{T−1}
+//
+// lastValue is V(s_T), the bootstrap value after the final step. It also
+// returns the rewards-to-go R̂_t = Â_t + V(s_t) used as the critic target.
+func GAE(rewards, values []float64, lastValue, gamma, lambda float64) (adv, returns []float64) {
+	n := len(rewards)
+	if len(values) != n {
+		panic("rl: GAE rewards/values length mismatch")
+	}
+	adv = make([]float64, n)
+	returns = make([]float64, n)
+	next := lastValue
+	running := 0.0
+	for t := n - 1; t >= 0; t-- {
+		delta := rewards[t] + gamma*next - values[t]
+		running = delta + gamma*lambda*running
+		adv[t] = running
+		returns[t] = adv[t] + values[t]
+		next = values[t]
+	}
+	return adv, returns
+}
+
+// NormalizeAdvantages standardizes advantages to zero mean and unit
+// variance in place — the usual PPO stabilization.
+func NormalizeAdvantages(adv []float64) {
+	if len(adv) < 2 {
+		return
+	}
+	mean := 0.0
+	for _, a := range adv {
+		mean += a
+	}
+	mean /= float64(len(adv))
+	varSum := 0.0
+	for _, a := range adv {
+		varSum += (a - mean) * (a - mean)
+	}
+	std := math.Sqrt(varSum / float64(len(adv)))
+	if std < 1e-8 {
+		std = 1e-8
+	}
+	for i := range adv {
+		adv[i] = (adv[i] - mean) / std
+	}
+}
+
+// ExpDecay is the paper's exploration schedule (Eq. 13):
+//
+//	ε_t = decay_rate^(t/T) · ε₀   for t > T,  ε_t = ε₀ otherwise.
+//
+// PET applies it to the exploration probability during online incremental
+// training; ACC applies it to its ε-greedy rate.
+type ExpDecay struct {
+	Init      float64 // ε₀
+	Rate      float64 // decay_rate, e.g. 0.99
+	DecaySlot float64 // T, the decay step
+	Floor     float64 // optional lower bound
+}
+
+// At evaluates the schedule at training step t.
+func (d ExpDecay) At(t int) float64 {
+	v := d.Init
+	if float64(t) > d.DecaySlot && d.DecaySlot > 0 {
+		v = d.Init * math.Pow(d.Rate, float64(t)/d.DecaySlot)
+	}
+	if v < d.Floor {
+		v = d.Floor
+	}
+	return v
+}

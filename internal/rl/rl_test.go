@@ -1,0 +1,129 @@
+package rl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGAEHandComputed(t *testing.T) {
+	rewards := []float64{1, 1}
+	values := []float64{0.5, 0.5}
+	gamma, lambda := 0.9, 0.8
+	adv, ret := GAE(rewards, values, 0.5, gamma, lambda)
+	// δ1 = 1 + 0.9·0.5 − 0.5 = 0.95
+	// δ0 = 1 + 0.9·0.5 − 0.5 = 0.95
+	// A1 = 0.95; A0 = 0.95 + 0.72·0.95 = 1.634
+	if math.Abs(adv[1]-0.95) > 1e-12 {
+		t.Fatalf("adv[1] = %v", adv[1])
+	}
+	if math.Abs(adv[0]-1.634) > 1e-12 {
+		t.Fatalf("adv[0] = %v", adv[0])
+	}
+	if math.Abs(ret[0]-(adv[0]+0.5)) > 1e-12 || math.Abs(ret[1]-(adv[1]+0.5)) > 1e-12 {
+		t.Fatalf("returns = %v", ret)
+	}
+}
+
+func TestGAELambdaZeroIsTD(t *testing.T) {
+	rewards := []float64{2, 3, 4}
+	values := []float64{1, 1, 1}
+	adv, _ := GAE(rewards, values, 1, 0.5, 0)
+	for i, r := range rewards {
+		want := r + 0.5*1 - 1
+		if math.Abs(adv[i]-want) > 1e-12 {
+			t.Fatalf("adv[%d] = %v, want TD %v", i, adv[i], want)
+		}
+	}
+}
+
+func TestGAELambdaOneIsMonteCarlo(t *testing.T) {
+	rewards := []float64{1, 2, 3}
+	values := []float64{0.3, 0.7, 0.1}
+	gamma := 0.9
+	adv, _ := GAE(rewards, values, 0, gamma, 1)
+	// λ=1: A_t = Σ γ^k r_{t+k} − V(s_t) (with V(s_T)=0).
+	g2 := 3.0
+	g1 := 2 + gamma*g2
+	g0 := 1 + gamma*g1
+	for i, want := range []float64{g0 - 0.3, g1 - 0.7, g2 - 0.1} {
+		if math.Abs(adv[i]-want) > 1e-9 {
+			t.Fatalf("adv[%d] = %v, want %v", i, adv[i], want)
+		}
+	}
+}
+
+func TestGAEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	GAE([]float64{1}, []float64{1, 2}, 0, 0.9, 0.9)
+}
+
+func TestNormalizeAdvantages(t *testing.T) {
+	adv := []float64{1, 2, 3, 4, 5}
+	NormalizeAdvantages(adv)
+	mean, varSum := 0.0, 0.0
+	for _, a := range adv {
+		mean += a
+	}
+	mean /= 5
+	for _, a := range adv {
+		varSum += (a - mean) * (a - mean)
+	}
+	if math.Abs(mean) > 1e-12 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(varSum/5-1) > 1e-9 {
+		t.Fatalf("var = %v", varSum/5)
+	}
+	// Degenerate cases must not produce NaN.
+	one := []float64{7}
+	NormalizeAdvantages(one)
+	if one[0] != 7 {
+		t.Fatal("single advantage modified")
+	}
+	same := []float64{3, 3, 3}
+	NormalizeAdvantages(same)
+	for _, v := range same {
+		if math.IsNaN(v) {
+			t.Fatal("NaN from constant advantages")
+		}
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	var tr Trajectory
+	tr.Add(Transition{Reward: 1})
+	tr.Add(Transition{Reward: 2})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	d := ExpDecay{Init: 0.2, Rate: 0.99, DecaySlot: 50}
+	if got := d.At(0); got != 0.2 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := d.At(50); got != 0.2 {
+		t.Fatalf("At(T) = %v, decay applies only for t > T", got)
+	}
+	at100 := d.At(100)
+	want := 0.2 * math.Pow(0.99, 2)
+	if math.Abs(at100-want) > 1e-12 {
+		t.Fatalf("At(100) = %v, want %v", at100, want)
+	}
+	if d.At(1000) >= at100 {
+		t.Fatal("decay not monotone")
+	}
+	floor := ExpDecay{Init: 0.2, Rate: 0.5, DecaySlot: 1, Floor: 0.05}
+	if got := floor.At(100000); got != 0.05 {
+		t.Fatalf("floor not applied: %v", got)
+	}
+}

@@ -1,0 +1,143 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced diverging streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 identical draws from different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split("workload")
+	// Parent sequence must not depend on splits.
+	root2 := New(7)
+	_ = root2.Split("workload")
+	_ = root2.Split("red")
+	for i := 0; i < 32; i++ {
+		r1 := New(7)
+		_ = r1
+	}
+	a, b := New(7), New(7)
+	_ = a.Split("x")
+	_ = b.Split("x")
+	_ = b.Split("y")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("splitting consumed parent randomness")
+		}
+	}
+	// Same label from the same parent gives the same stream.
+	c1b := New(7).Split("workload")
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c1b.Float64() {
+			t.Fatal("same label split not reproducible")
+		}
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	root := New(9)
+	a := root.Split("alpha")
+	b := root.Split("beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 identical draws from differently-labelled splits", same)
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	root := New(3)
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := root.SplitN("flow", i)
+		if seen[s.Seed()] {
+			t.Fatalf("SplitN produced duplicate seed at index %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestBernoulliBounds(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %.4f", got)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp(5) empirical mean %.4f", mean)
+	}
+}
+
+// Property: Bernoulli never fires outside [0,1] semantics regardless of p.
+func TestBernoulliProperty(t *testing.T) {
+	s := New(17)
+	f := func(p float64) bool {
+		v := s.Bernoulli(p)
+		if p <= 0 && v {
+			return false
+		}
+		if p >= 1 && !v {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import "container/heap"
+
+// An event is a callback scheduled at a virtual time. seq breaks ties so that
+// events scheduled first at the same instant run first (deterministic order).
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel on a zero Handle is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; model-level parallelism belongs above the engine (e.g. one
+// engine per independent replica, run on separate goroutines).
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with its clock at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events waiting to fire (including cancelled
+// ones not yet discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug, and silently reordering time corrupts results.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) Handle {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step runs the earliest pending event and returns true, or returns false if
+// no events remain. Cancelled events are discarded without running.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes every event with timestamp <= t, then advances the
+// clock to exactly t. Events scheduled by fired events are processed too,
+// as long as they fall within the horizon.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+}
+
+// Run processes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop makes the current Run or RunUntil return after the in-flight event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// peek returns the earliest non-cancelled event without removing it,
+// discarding cancelled events from the top of the heap along the way.
+func (e *Engine) peek() *event {
+	for len(e.events) > 0 {
+		if ev := e.events[0]; !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}

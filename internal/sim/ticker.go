@@ -1,0 +1,47 @@
+package sim
+
+// Ticker invokes a callback at a fixed virtual-time period. It is the
+// building block for periodic controllers (ECN tuning intervals, NCM
+// monitoring slots, stats samplers).
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func(now Time)
+	handle  Handle
+	stopped bool
+	ticks   uint64
+}
+
+// NewTicker schedules fn every period, with the first tick one period from
+// now. The period must be positive.
+func NewTicker(eng *Engine, period Time, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.ticks++
+		t.fn(t.eng.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times, including from
+// within the callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Ticks returns how many times the callback has fired.
+func (t *Ticker) Ticks() uint64 { return t.ticks }

@@ -1,0 +1,55 @@
+package staticecn
+
+import (
+	"testing"
+
+	"pet/internal/netsim"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+func TestPresetValues(t *testing.T) {
+	s1 := SECN1()
+	if s1.KminBytes != 5<<10 || s1.KmaxBytes != 200<<10 || !s1.Enabled {
+		t.Fatalf("SECN1 = %+v", s1)
+	}
+	s2 := SECN2()
+	if s2.KminBytes != 100<<10 || s2.KmaxBytes != 400<<10 || !s2.Enabled {
+		t.Fatalf("SECN2 = %+v", s2)
+	}
+}
+
+func TestApplyHitsEverySwitchPort(t *testing.T) {
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(topo.SmallScale())
+	net := netsim.New(eng, ls.Graph, 1, netsim.Config{})
+	Apply(net, 0, SECN2())
+	for _, p := range net.SwitchPorts() {
+		if p.ECN(0) != SECN2() {
+			t.Fatalf("port on %v not configured", p.Owner())
+		}
+	}
+	// Host NIC ports must remain unmarked.
+	hp := net.HostPort(ls.Hosts[0])
+	if hp.ECN(0).Enabled {
+		t.Fatal("Apply touched a host NIC")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled(SECN1(), 4)
+	if s.KminBytes != (5<<10)/4 || s.KmaxBytes != (200<<10)/4 {
+		t.Fatalf("Scaled = %+v", s)
+	}
+	// Degenerate divisor keeps Kmin < Kmax.
+	tiny := Scaled(netsim.ECNConfig{Enabled: true, KminBytes: 2, KmaxBytes: 3, Pmax: 1}, 1000)
+	if tiny.KminBytes >= tiny.KmaxBytes || tiny.KminBytes < 1 {
+		t.Fatalf("degenerate Scaled = %+v", tiny)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero divisor accepted")
+		}
+	}()
+	Scaled(SECN1(), 0)
+}

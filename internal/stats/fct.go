@@ -1,0 +1,147 @@
+package stats
+
+import "pet/internal/sim"
+
+// The paper's FCT figures bucket flows by size: "(0,100KB]" are the
+// latency-sensitive mice and "[10MB,∞)" the bandwidth-hungry elephants.
+const (
+	MiceMaxBytes     = 100 << 10
+	ElephantMinBytes = 10 << 20
+)
+
+// FCTRecord is one completed flow.
+type FCTRecord struct {
+	Size     int64
+	FCT      sim.Time
+	Slowdown float64 // FCT / ideal FCT on an empty fabric
+	Incast   bool
+	At       sim.Time // completion time, for time series
+}
+
+// IdealFCT is the completion time of a flow on an idle fabric: pure
+// serialization at the line rate plus one propagation-dominated base RTT.
+func IdealFCT(size int64, lineRateBps float64, baseRTT sim.Time) sim.Time {
+	return sim.TransmitTime(int(size), lineRateBps) + baseRTT
+}
+
+// FCTCollector accumulates completed flows and summarizes them with the
+// paper's size buckets.
+type FCTCollector struct {
+	recs []FCTRecord
+}
+
+// Record appends one completed flow.
+func (c *FCTCollector) Record(r FCTRecord) { c.recs = append(c.recs, r) }
+
+// N returns the number of recorded flows.
+func (c *FCTCollector) N() int { return len(c.recs) }
+
+// Records returns the raw records (read-only use).
+func (c *FCTCollector) Records() []FCTRecord { return c.recs }
+
+// Reset drops all records (used between measurement phases so warm-up flows
+// do not pollute results).
+func (c *FCTCollector) Reset() { c.recs = c.recs[:0] }
+
+// Summary aggregates one bucket of flows.
+type Summary struct {
+	N           int
+	AvgFCT      sim.Time
+	P99FCT      sim.Time
+	AvgSlowdown float64
+	P99Slowdown float64
+}
+
+// Filter selects records for a Summary.
+type Filter func(FCTRecord) bool
+
+// All matches every flow.
+func All(FCTRecord) bool { return true }
+
+// Mice matches the paper's (0,100KB] bucket.
+func Mice(r FCTRecord) bool { return r.Size <= MiceMaxBytes }
+
+// Elephant matches the paper's [10MB,∞) bucket.
+func Elephant(r FCTRecord) bool { return r.Size >= ElephantMinBytes }
+
+// Incast matches flows that were part of a many-to-one group.
+func Incast(r FCTRecord) bool { return r.Incast }
+
+// Summarize aggregates all records matching the filter.
+func (c *FCTCollector) Summarize(f Filter) Summary {
+	var fct, slow Sample
+	for _, r := range c.recs {
+		if !f(r) {
+			continue
+		}
+		fct.Add(float64(r.FCT))
+		slow.Add(r.Slowdown)
+	}
+	return Summary{
+		N:           fct.N(),
+		AvgFCT:      sim.Time(fct.Mean()),
+		P99FCT:      sim.Time(fct.Percentile(0.99)),
+		AvgSlowdown: slow.Mean(),
+		P99Slowdown: slow.Percentile(0.99),
+	}
+}
+
+// TimeBucket is one aggregated window of a TimeSeries.
+type TimeBucket struct {
+	Start sim.Time
+	Mean  float64
+	N     int64
+}
+
+// TimeSeries aggregates observations into fixed windows of virtual time,
+// for the Fig. 6/7 FCT-over-time plots.
+type TimeSeries struct {
+	window  sim.Time
+	buckets map[int64]*Welford
+}
+
+// NewTimeSeries creates a series with the given window width.
+func NewTimeSeries(window sim.Time) *TimeSeries {
+	if window <= 0 {
+		panic("stats: non-positive time series window")
+	}
+	return &TimeSeries{window: window, buckets: make(map[int64]*Welford)}
+}
+
+// Add folds an observation at virtual time `at` into its window.
+func (ts *TimeSeries) Add(at sim.Time, v float64) {
+	idx := int64(at / ts.window)
+	w := ts.buckets[idx]
+	if w == nil {
+		w = &Welford{}
+		ts.buckets[idx] = w
+	}
+	w.Add(v)
+}
+
+// Buckets returns the non-empty windows in time order.
+func (ts *TimeSeries) Buckets() []TimeBucket {
+	idxs := make([]int64, 0, len(ts.buckets))
+	for i := range ts.buckets {
+		idxs = append(idxs, i)
+	}
+	sortInt64s(idxs)
+	out := make([]TimeBucket, 0, len(idxs))
+	for _, i := range idxs {
+		w := ts.buckets[i]
+		out = append(out, TimeBucket{
+			Start: sim.Time(i) * ts.window,
+			Mean:  w.Mean(),
+			N:     w.N(),
+		})
+	}
+	return out
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

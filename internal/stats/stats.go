@@ -1,0 +1,127 @@
+// Package stats provides the streaming and batch statistics the evaluation
+// harness needs: Welford mean/variance, exact percentiles, FCT aggregation
+// with the paper's size buckets, and time-bucketed series for the
+// convergence and robustness experiments.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in one pass, numerically stably.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance.
+func (w *Welford) Var() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Sample collects observations for exact quantiles.
+type Sample struct {
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Percentile returns the exact p-quantile (nearest-rank with linear
+// interpolation), p in [0,1]. Returns 0 when empty.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 1 {
+		return s.vals[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s.vals[n-1]
+	}
+	return s.vals[lo]*(1-frac) + s.vals[lo+1]*frac
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if s.sorted {
+		return s.vals[len(s.vals)-1]
+	}
+	max := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if s.sorted {
+		return s.vals[0]
+	}
+	min := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pet/internal/sim"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Var()-4) > 1e-12 {
+		t.Fatalf("Var = %v, want 4", w.Var())
+	}
+	if math.Abs(w.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", w.Std())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 {
+		t.Fatal("empty Welford nonzero")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 {
+		t.Fatalf("single obs: mean=%v var=%v", w.Mean(), w.Var())
+	}
+}
+
+func TestWelfordMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range clean {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var m2 float64
+		for _, x := range clean {
+			m2 += (x - mean) * (x - mean)
+		}
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-m2/float64(len(clean))) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := s.Percentile(1); got != 100 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := s.Percentile(0.5); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("P50 = %v, want 50.5", got)
+	}
+	if got := s.Percentile(0.99); math.Abs(got-99.01) > 1e-9 {
+		t.Fatalf("P99 = %v, want 99.01", got)
+	}
+	if s.Mean() != 50.5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Max() != 100 || s.Min() != 1 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(0.5) != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty sample returned nonzero")
+	}
+}
+
+func TestSampleAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	s.Add(1)
+	_ = s.Percentile(0.5) // forces sort
+	s.Add(3)
+	if got := s.Percentile(0.5); got != 3 {
+		t.Fatalf("P50 after re-add = %v, want 3", got)
+	}
+}
+
+func TestSamplePercentileIsOrderStatProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p = math.Abs(math.Mod(p, 1))
+		var s Sample
+		for _, x := range xs {
+			s.Add(x)
+		}
+		got := s.Percentile(p)
+		sort.Float64s(xs)
+		return got >= xs[0] && got <= xs[len(xs)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdealFCT(t *testing.T) {
+	// 100 KB at 10 Gbps = 80 µs + 10 µs RTT.
+	got := IdealFCT(100_000, 10e9, 10*sim.Microsecond)
+	if got != 90*sim.Microsecond {
+		t.Fatalf("IdealFCT = %v, want 90µs", got)
+	}
+}
+
+func TestFCTCollectorBuckets(t *testing.T) {
+	var c FCTCollector
+	c.Record(FCTRecord{Size: 50 << 10, FCT: 100 * sim.Microsecond, Slowdown: 2})
+	c.Record(FCTRecord{Size: 80 << 10, FCT: 300 * sim.Microsecond, Slowdown: 4, Incast: true})
+	c.Record(FCTRecord{Size: 20 << 20, FCT: 20 * sim.Millisecond, Slowdown: 1.5})
+	c.Record(FCTRecord{Size: 500 << 10, FCT: sim.Millisecond, Slowdown: 3})
+
+	all := c.Summarize(All)
+	if all.N != 4 {
+		t.Fatalf("All.N = %d", all.N)
+	}
+	mice := c.Summarize(Mice)
+	if mice.N != 2 {
+		t.Fatalf("Mice.N = %d", mice.N)
+	}
+	if mice.AvgFCT != 200*sim.Microsecond {
+		t.Fatalf("Mice.AvgFCT = %v", mice.AvgFCT)
+	}
+	if mice.AvgSlowdown != 3 {
+		t.Fatalf("Mice.AvgSlowdown = %v", mice.AvgSlowdown)
+	}
+	el := c.Summarize(Elephant)
+	if el.N != 1 || el.AvgFCT != 20*sim.Millisecond {
+		t.Fatalf("Elephant = %+v", el)
+	}
+	inc := c.Summarize(Incast)
+	if inc.N != 1 || inc.AvgSlowdown != 4 {
+		t.Fatalf("Incast = %+v", inc)
+	}
+	c.Reset()
+	if c.N() != 0 || c.Summarize(All).N != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestTimeSeriesBucketing(t *testing.T) {
+	ts := NewTimeSeries(sim.Second)
+	ts.Add(100*sim.Millisecond, 1)
+	ts.Add(900*sim.Millisecond, 3)
+	ts.Add(1500*sim.Millisecond, 10)
+	ts.Add(3200*sim.Millisecond, 7)
+	bs := ts.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(bs))
+	}
+	if bs[0].Start != 0 || bs[0].Mean != 2 || bs[0].N != 2 {
+		t.Fatalf("bucket 0 = %+v", bs[0])
+	}
+	if bs[1].Start != sim.Second || bs[1].Mean != 10 {
+		t.Fatalf("bucket 1 = %+v", bs[1])
+	}
+	if bs[2].Start != 3*sim.Second || bs[2].Mean != 7 {
+		t.Fatalf("bucket 2 = %+v", bs[2])
+	}
+}
+
+func TestTimeSeriesWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window accepted")
+		}
+	}()
+	NewTimeSeries(0)
+}

@@ -1,0 +1,84 @@
+package topo
+
+// Routing holds per-destination ECMP next-hop tables computed over the
+// currently-up links. Tables are immutable once computed; after changing
+// link state, call ComputeRouting again and swap.
+type Routing struct {
+	g *Graph
+	// next[dst][from] lists the candidate outgoing links at node `from`
+	// toward destination `dst`, all lying on shortest up-paths.
+	next [][][]LinkID
+	dist [][]int
+}
+
+// ComputeRouting runs one reverse BFS per destination over up links.
+func ComputeRouting(g *Graph) *Routing {
+	n := len(g.Nodes)
+	r := &Routing{
+		g:    g,
+		next: make([][][]LinkID, n),
+		dist: make([][]int, n),
+	}
+	for dst := 0; dst < n; dst++ {
+		r.next[dst], r.dist[dst] = bfsFrom(g, NodeID(dst))
+	}
+	return r
+}
+
+// bfsFrom computes, for a single destination, each node's shortest-path
+// distance and its set of next-hop links toward that destination.
+func bfsFrom(g *Graph, dst NodeID) ([][]LinkID, []int) {
+	n := len(g.Nodes)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, lid := range g.Nodes[cur].Links {
+			l := g.Link(lid)
+			if !l.Up {
+				continue
+			}
+			peer := l.Peer(cur)
+			if dist[peer] == -1 {
+				dist[peer] = dist[cur] + 1
+				queue = append(queue, peer)
+			}
+		}
+	}
+	next := make([][]LinkID, n)
+	for from := 0; from < n; from++ {
+		if dist[from] <= 0 {
+			continue // destination itself or unreachable
+		}
+		for _, lid := range g.Nodes[from].Links {
+			l := g.Link(lid)
+			if !l.Up {
+				continue
+			}
+			peer := l.Peer(NodeID(from))
+			if dist[peer] == dist[from]-1 {
+				next[from] = append(next[from], lid)
+			}
+		}
+	}
+	return next, dist
+}
+
+// NextHops returns the ECMP candidate links at `from` toward `dst`.
+// An empty slice means dst is unreachable from `from`.
+func (r *Routing) NextHops(from, dst NodeID) []LinkID {
+	return r.next[dst][from]
+}
+
+// Distance returns the hop count from `from` to `dst`, or -1 if unreachable.
+func (r *Routing) Distance(from, dst NodeID) int { return r.dist[dst][from] }
+
+// Reachable reports whether dst can be reached from `from` over up links.
+func (r *Routing) Reachable(from, dst NodeID) bool {
+	return from == dst || r.dist[dst][from] > 0
+}

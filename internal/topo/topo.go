@@ -1,0 +1,138 @@
+// Package topo describes data-center network topologies as annotated graphs
+// and computes ECMP routing tables over them.
+//
+// The package is pure structure: bandwidths, delays and up/down state live
+// here, while queues and packets live in netsim. This split lets routing be
+// recomputed (e.g. after link failures) without touching simulation state.
+package topo
+
+import (
+	"fmt"
+
+	"pet/internal/sim"
+)
+
+// NodeKind distinguishes the three roles in a leaf–spine fabric.
+type NodeKind int
+
+const (
+	Host NodeKind = iota
+	Leaf
+	Spine
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Leaf:
+		return "leaf"
+	case Spine:
+		return "spine"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// NodeID and LinkID index into Graph.Nodes and Graph.Links.
+type (
+	NodeID int
+	LinkID int
+)
+
+// Node is a device in the fabric.
+type Node struct {
+	ID    NodeID
+	Kind  NodeKind
+	Name  string
+	Links []LinkID // incident links, in creation order
+}
+
+// Link is a full-duplex cable between two nodes. Each direction gets its own
+// queue in netsim; here a link is a single shared object with an Up flag.
+type Link struct {
+	ID        LinkID
+	A, B      NodeID
+	Bandwidth float64  // bits per second, per direction
+	Delay     sim.Time // one-way propagation delay
+	Up        bool
+}
+
+// Peer returns the endpoint of l opposite to n.
+func (l *Link) Peer(n NodeID) NodeID {
+	if l.A == n {
+		return l.B
+	}
+	if l.B == n {
+		return l.A
+	}
+	panic(fmt.Sprintf("topo: node %d not on link %d", n, l.ID))
+}
+
+// Graph is a mutable fabric description.
+type Graph struct {
+	Nodes []Node
+	Links []Link
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(kind NodeKind, name string) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: kind, Name: name})
+	return id
+}
+
+// Connect adds a bidirectional link between a and b.
+func (g *Graph) Connect(a, b NodeID, bandwidth float64, delay sim.Time) LinkID {
+	if a == b {
+		panic("topo: self link")
+	}
+	if bandwidth <= 0 {
+		panic("topo: non-positive bandwidth")
+	}
+	id := LinkID(len(g.Links))
+	g.Links = append(g.Links, Link{ID: id, A: a, B: b, Bandwidth: bandwidth, Delay: delay, Up: true})
+	g.Nodes[a].Links = append(g.Nodes[a].Links, id)
+	g.Nodes[b].Links = append(g.Nodes[b].Links, id)
+	return id
+}
+
+// Link returns a pointer to the link record.
+func (g *Graph) Link(id LinkID) *Link { return &g.Links[id] }
+
+// Node returns a pointer to the node record.
+func (g *Graph) Node(id NodeID) *Node { return &g.Nodes[id] }
+
+// HostIDs returns all host nodes in ID order.
+func (g *Graph) HostIDs() []NodeID {
+	var out []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == Host {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// SwitchIDs returns all non-host nodes in ID order.
+func (g *Graph) SwitchIDs() []NodeID {
+	var out []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind != Host {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// SwitchLinks returns the IDs of links whose endpoints are both switches
+// (the candidates for fabric link-failure experiments).
+func (g *Graph) SwitchLinks() []LinkID {
+	var out []LinkID
+	for _, l := range g.Links {
+		if g.Nodes[l.A].Kind != Host && g.Nodes[l.B].Kind != Host {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}

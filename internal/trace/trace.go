@@ -1,0 +1,138 @@
+// Package trace records structured simulation events — flow lifecycle, ECN
+// reconfigurations, link state changes — and exports them as CSV for
+// offline analysis or plotting. It is the observability layer a production
+// deployment of PET would log from each switch's control plane.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"pet/internal/sim"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds.
+const (
+	FlowStart  Kind = "flow_start"
+	FlowDone   Kind = "flow_done"
+	ECNChange  Kind = "ecn_change"
+	LinkChange Kind = "link_change"
+	Custom     Kind = "custom"
+)
+
+// Event is one recorded occurrence. Fields carries kind-specific values
+// (sizes, node IDs, thresholds) as ordered key=value pairs.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Fields []Field
+}
+
+// Field is one key=value annotation.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// F builds a Field from any value.
+func F(key string, value any) Field {
+	return Field{Key: key, Value: fmt.Sprint(value)}
+}
+
+// Recorder accumulates events in memory. The zero value is ready to use.
+// A nil *Recorder is a valid no-op sink, so call sites can trace
+// unconditionally.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// NewRecorder returns a recorder that keeps at most limit events
+// (0 = unlimited). When full, further events are dropped and counted.
+func NewRecorder(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Record appends an event. No-op on a nil recorder.
+func (r *Recorder) Record(at sim.Time, kind Kind, fields ...Field) {
+	if r == nil {
+		return
+	}
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: kind, Fields: fields})
+}
+
+// Len returns the number of stored events. Nil-safe.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the recorded events in insertion order. Nil-safe.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Filter returns the events of one kind, preserving order.
+func (r *Recorder) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits all events as CSV: t_us, kind, then the union of field
+// keys as columns (missing values empty). Events keep insertion order.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	keySet := map[string]bool{}
+	for _, e := range r.Events() {
+		for _, f := range e.Fields {
+			keySet[f.Key] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"t_us", "kind"}, keys...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, e := range r.Events() {
+		row[0] = strconv.FormatFloat(e.At.Microseconds(), 'f', 3, 64)
+		row[1] = string(e.Kind)
+		for i := range keys {
+			row[2+i] = ""
+		}
+		for _, f := range e.Fields {
+			for i, k := range keys {
+				if k == f.Key {
+					row[2+i] = f.Value
+				}
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

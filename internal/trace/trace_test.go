@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pet/internal/sim"
+)
+
+func TestRecordAndFilter(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(sim.Microsecond, FlowStart, F("flow", 1), F("size", 1000))
+	r.Record(2*sim.Microsecond, ECNChange, F("switch", 3), F("kmax", 4096))
+	r.Record(3*sim.Microsecond, FlowDone, F("flow", 1))
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	flows := r.Filter(FlowStart)
+	if len(flows) != 1 || flows[0].Fields[0].Value != "1" {
+		t.Fatalf("Filter = %+v", flows)
+	}
+}
+
+func TestLimitDropsExcess(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(sim.Time(i), Custom, F("i", i))
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d with limit 2", r.Len())
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, Custom) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(1500*sim.Nanosecond, FlowStart, F("flow", 7), F("size", 2048))
+	r.Record(2*sim.Microsecond, LinkChange, F("link", 4), F("up", false))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "t_us,kind,flow,link,size,up" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.500,flow_start,7,,2048,") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "link_change,,4,,false") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder(0).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "t_us,kind" {
+		t.Fatalf("empty CSV = %q", buf.String())
+	}
+}

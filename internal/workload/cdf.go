@@ -1,0 +1,150 @@
+// Package workload generates data-center traffic: flow sizes drawn from
+// published CDFs (Web Search from the DCTCP paper, Data Mining from VL2),
+// Poisson open-loop arrivals at a target load, and many-to-one incast
+// (partition–aggregate) events. This substitutes for the Alibaba traffic
+// generator the paper used, extended — as the paper extended it — with
+// incast patterns and mice/elephant mixes.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pet/internal/rng"
+)
+
+// ElephantThreshold is the paper's flow classification rule (Sec. 4.2.1,
+// after DevoFlow): a flow whose cumulative size reaches 1 MB is an elephant.
+const ElephantThreshold = 1 << 20
+
+// IsElephant classifies a flow by its total size.
+func IsElephant(size int64) bool { return size >= ElephantThreshold }
+
+// Point is one knot of a flow-size CDF: Frac of flows are ≤ Bytes.
+type Point struct {
+	Bytes int64
+	Frac  float64
+}
+
+// CDF is a piecewise-linear flow-size distribution.
+type CDF struct {
+	name   string
+	points []Point
+}
+
+// NewCDF validates and builds a CDF. Points must be sorted by Bytes with
+// nondecreasing Frac, starting at Frac 0 and ending at Frac 1.
+func NewCDF(name string, points []Point) (*CDF, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: CDF %q needs at least 2 points", name)
+	}
+	if points[0].Frac != 0 || points[len(points)-1].Frac != 1 {
+		return nil, fmt.Errorf("workload: CDF %q must span Frac 0..1", name)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Bytes <= points[i-1].Bytes || points[i].Frac < points[i-1].Frac {
+			return nil, fmt.Errorf("workload: CDF %q not monotonic at point %d", name, i)
+		}
+	}
+	return &CDF{name: name, points: points}, nil
+}
+
+// MustCDF is NewCDF that panics on invalid data; for package literals.
+func MustCDF(name string, points []Point) *CDF {
+	c, err := NewCDF(name, points)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the distribution's label.
+func (c *CDF) Name() string { return c.name }
+
+// Points returns a copy of the CDF knots (for plotting, e.g. Fig. 3).
+func (c *CDF) Points() []Point {
+	out := make([]Point, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
+// Quantile returns the flow size at cumulative probability p in [0,1],
+// with linear interpolation between knots.
+func (c *CDF) Quantile(p float64) float64 {
+	if p <= 0 {
+		return float64(c.points[0].Bytes)
+	}
+	if p >= 1 {
+		return float64(c.points[len(c.points)-1].Bytes)
+	}
+	i := sort.Search(len(c.points), func(i int) bool { return c.points[i].Frac >= p })
+	lo, hi := c.points[i-1], c.points[i]
+	if hi.Frac == lo.Frac {
+		return float64(hi.Bytes)
+	}
+	t := (p - lo.Frac) / (hi.Frac - lo.Frac)
+	return float64(lo.Bytes) + t*float64(hi.Bytes-lo.Bytes)
+}
+
+// Sample draws a flow size. Sizes are at least 1 byte.
+func (c *CDF) Sample(r *rng.Stream) int64 {
+	s := int64(c.Quantile(r.Float64()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Mean returns the analytic mean of the piecewise-linear distribution.
+func (c *CDF) Mean() float64 {
+	mean := 0.0
+	for i := 1; i < len(c.points); i++ {
+		lo, hi := c.points[i-1], c.points[i]
+		mean += (hi.Frac - lo.Frac) * float64(lo.Bytes+hi.Bytes) / 2
+	}
+	return mean
+}
+
+// WebSearch is the flow-size distribution of the DCTCP paper's production
+// web-search cluster — the latency-sensitive, mice-heavy workload.
+func WebSearch() *CDF {
+	return MustCDF("WebSearch", []Point{
+		{1, 0},
+		{10_000, 0.15},
+		{20_000, 0.20},
+		{30_000, 0.30},
+		{50_000, 0.40},
+		{80_000, 0.53},
+		{200_000, 0.60},
+		{1_000_000, 0.70},
+		{2_000_000, 0.80},
+		{5_000_000, 0.90},
+		{10_000_000, 0.97},
+		{30_000_000, 1},
+	})
+}
+
+// DataMining is the heavy-tailed flow-size distribution of the VL2 paper's
+// data-mining cluster — the throughput-oriented, elephant-heavy workload.
+func DataMining() *CDF {
+	return MustCDF("DataMining", []Point{
+		{1, 0},
+		{180, 0.10},
+		{250, 0.20},
+		{560, 0.30},
+		{900, 0.40},
+		{1_100, 0.50},
+		{1_870, 0.60},
+		{3_160, 0.70},
+		{10_000, 0.80},
+		{400_000, 0.90},
+		{3_160_000, 0.95},
+		{100_000_000, 0.98},
+		{1_000_000_000, 1},
+	})
+}
+
+// Uniform is a synthetic distribution for tests: sizes uniform in [lo, hi].
+func Uniform(lo, hi int64) *CDF {
+	return MustCDF("Uniform", []Point{{lo, 0}, {hi, 1}})
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"pet/internal/rng"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// FlowMeta annotates a generated flow for downstream statistics.
+type FlowMeta struct {
+	Incast  bool  // part of a many-to-one partition-aggregate group
+	GroupID int64 // incast group, 0 for background flows
+	Size    int64
+}
+
+// StartFunc is how the generator hands flows to a transport.
+type StartFunc func(src, dst topo.NodeID, size int64, meta FlowMeta)
+
+// Config drives a Generator.
+type Config struct {
+	Hosts       []topo.NodeID
+	HostRateBps float64 // access line rate used for load accounting
+	CDF         *CDF
+	Load        float64 // target utilization of aggregate host capacity, (0,1)
+
+	// Incast traffic: a fraction of the offered load is delivered as
+	// many-to-one groups of FanIn senders each sending ChunkBytes.
+	IncastFraction float64 // 0 disables incast
+	IncastFanIn    int     // senders per group (default 8)
+	IncastChunk    int64   // bytes per sender (default 64 KB)
+}
+
+func (c Config) withDefaults() Config {
+	if c.IncastFanIn == 0 {
+		c.IncastFanIn = 8
+	}
+	if c.IncastChunk == 0 {
+		c.IncastChunk = 64 << 10
+	}
+	return c
+}
+
+// Generator emits flows as two independent Poisson processes (background
+// and incast) whose combined offered load matches Config.Load. The CDF and
+// load may be swapped at runtime to model traffic-pattern switching.
+type Generator struct {
+	eng   *sim.Engine
+	cfg   Config
+	start StartFunc
+	r     *rng.Stream
+
+	running   bool
+	bgHandle  sim.Handle
+	incHandle sim.Handle
+	groupSeq  int64
+
+	// Counters for verification.
+	FlowsStarted   int64
+	BytesOffered   int64
+	IncastGroups   int64
+	IncastFlows    int64
+	BackgroundFlow int64
+}
+
+// NewGenerator wires a generator to an engine and a flow-start callback.
+func NewGenerator(eng *sim.Engine, cfg Config, seed int64, start StartFunc) *Generator {
+	cfg = cfg.withDefaults()
+	if len(cfg.Hosts) < 2 {
+		panic("workload: need at least 2 hosts")
+	}
+	if cfg.Load <= 0 || cfg.Load >= 1.0001 {
+		panic("workload: load must be in (0,1]")
+	}
+	if cfg.IncastFraction < 0 || cfg.IncastFraction > 1 {
+		panic("workload: incast fraction must be in [0,1]")
+	}
+	return &Generator{
+		eng:   eng,
+		cfg:   cfg,
+		start: start,
+		r:     rng.New(seed).Split("workload"),
+	}
+}
+
+// aggregate capacity available to the generator, bits per second.
+func (g *Generator) capacityBps() float64 {
+	return g.cfg.HostRateBps * float64(len(g.cfg.Hosts))
+}
+
+// backgroundInterarrival returns the mean gap between background flows.
+func (g *Generator) backgroundInterarrival() sim.Time {
+	loadBps := g.capacityBps() * g.cfg.Load * (1 - g.cfg.IncastFraction)
+	if loadBps <= 0 {
+		return 0
+	}
+	flowsPerSec := loadBps / (g.cfg.CDF.Mean() * 8)
+	return sim.FromSeconds(1 / flowsPerSec)
+}
+
+// incastInterarrival returns the mean gap between incast groups.
+func (g *Generator) incastInterarrival() sim.Time {
+	loadBps := g.capacityBps() * g.cfg.Load * g.cfg.IncastFraction
+	if loadBps <= 0 {
+		return 0
+	}
+	groupBytes := float64(g.cfg.IncastFanIn) * float64(g.cfg.IncastChunk)
+	groupsPerSec := loadBps / (groupBytes * 8)
+	return sim.FromSeconds(1 / groupsPerSec)
+}
+
+// Start begins emitting flows. Idempotent.
+func (g *Generator) Start() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.scheduleBackground()
+	g.scheduleIncast()
+}
+
+// Stop halts flow generation; in-flight flows are unaffected.
+func (g *Generator) Stop() {
+	g.running = false
+	g.bgHandle.Cancel()
+	g.incHandle.Cancel()
+}
+
+// SetWorkload swaps the flow-size distribution and load at runtime — the
+// traffic-pattern switch used in the paper's convergence experiment (Fig. 6).
+func (g *Generator) SetWorkload(cdf *CDF, load float64) {
+	g.cfg.CDF = cdf
+	g.cfg.Load = load
+	if g.running {
+		// Re-draw the next arrivals under the new process.
+		g.bgHandle.Cancel()
+		g.incHandle.Cancel()
+		g.scheduleBackground()
+		g.scheduleIncast()
+	}
+}
+
+// Config returns the generator's current configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+func (g *Generator) scheduleBackground() {
+	mean := g.backgroundInterarrival()
+	if mean <= 0 {
+		return
+	}
+	gap := sim.Time(g.r.Exp(float64(mean)))
+	g.bgHandle = g.eng.After(gap, func() {
+		if !g.running {
+			return
+		}
+		g.emitBackground()
+		g.scheduleBackground()
+	})
+}
+
+func (g *Generator) scheduleIncast() {
+	mean := g.incastInterarrival()
+	if mean <= 0 {
+		return
+	}
+	gap := sim.Time(g.r.Exp(float64(mean)))
+	g.incHandle = g.eng.After(gap, func() {
+		if !g.running {
+			return
+		}
+		g.emitIncast()
+		g.scheduleIncast()
+	})
+}
+
+// emitBackground starts one point-to-point flow between uniform hosts.
+func (g *Generator) emitBackground() {
+	hosts := g.cfg.Hosts
+	src := hosts[g.r.Intn(len(hosts))]
+	dst := src
+	for dst == src {
+		dst = hosts[g.r.Intn(len(hosts))]
+	}
+	size := g.cfg.CDF.Sample(g.r)
+	g.FlowsStarted++
+	g.BackgroundFlow++
+	g.BytesOffered += size
+	g.start(src, dst, size, FlowMeta{Size: size})
+}
+
+// emitIncast starts one partition-aggregate group: FanIn distinct senders
+// simultaneously send ChunkBytes to one receiver.
+func (g *Generator) emitIncast() {
+	hosts := g.cfg.Hosts
+	dst := hosts[g.r.Intn(len(hosts))]
+	fanIn := g.cfg.IncastFanIn
+	if fanIn > len(hosts)-1 {
+		fanIn = len(hosts) - 1
+	}
+	g.groupSeq++
+	g.IncastGroups++
+	perm := g.r.Perm(len(hosts))
+	started := 0
+	for _, idx := range perm {
+		if started == fanIn {
+			break
+		}
+		src := hosts[idx]
+		if src == dst {
+			continue
+		}
+		size := g.cfg.IncastChunk
+		g.FlowsStarted++
+		g.IncastFlows++
+		g.BytesOffered += size
+		g.start(src, dst, size, FlowMeta{Incast: true, GroupID: g.groupSeq, Size: size})
+		started++
+	}
+}

@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pet/internal/rng"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+func TestCDFValidation(t *testing.T) {
+	if _, err := NewCDF("short", []Point{{1, 0}}); err == nil {
+		t.Error("1-point CDF accepted")
+	}
+	if _, err := NewCDF("nospan", []Point{{1, 0.1}, {2, 1}}); err == nil {
+		t.Error("CDF not starting at 0 accepted")
+	}
+	if _, err := NewCDF("noend", []Point{{1, 0}, {2, 0.9}}); err == nil {
+		t.Error("CDF not ending at 1 accepted")
+	}
+	if _, err := NewCDF("nonmono", []Point{{5, 0}, {2, 1}}); err == nil {
+		t.Error("non-monotonic bytes accepted")
+	}
+	if _, err := NewCDF("ok", []Point{{1, 0}, {100, 0.5}, {1000, 1}}); err != nil {
+		t.Errorf("valid CDF rejected: %v", err)
+	}
+}
+
+func TestQuantileEndpointsAndMidpoint(t *testing.T) {
+	c := MustCDF("t", []Point{{100, 0}, {200, 0.5}, {400, 1}})
+	if q := c.Quantile(0); q != 100 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 400 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if q := c.Quantile(0.25); q != 150 {
+		t.Fatalf("Quantile(0.25) = %v, want 150", q)
+	}
+	if q := c.Quantile(0.75); q != 300 {
+		t.Fatalf("Quantile(0.75) = %v, want 300", q)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	c := WebSearch()
+	f := func(a, b float64) bool {
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return c.Quantile(pa) <= c.Quantile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleMeanMatchesAnalytic(t *testing.T) {
+	for _, c := range []*CDF{WebSearch(), DataMining(), Uniform(1000, 9000)} {
+		r := rng.New(5)
+		const n = 300000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(c.Sample(r))
+		}
+		got := sum / n
+		want := c.Mean()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: empirical mean %.0f vs analytic %.0f", c.Name(), got, want)
+		}
+	}
+}
+
+func TestWorkloadCharacter(t *testing.T) {
+	// Web Search: mice-heavy by count; Data Mining: tiny flows dominate
+	// count but elephants dominate bytes.
+	ws, dm := WebSearch(), DataMining()
+	r := rng.New(9)
+	miceWS, miceDM := 0, 0
+	var bytesDM, elephantBytesDM float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if !IsElephant(ws.Sample(r)) {
+			miceWS++
+		}
+		s := dm.Sample(r)
+		bytesDM += float64(s)
+		if IsElephant(s) {
+			elephantBytesDM += float64(s)
+		} else {
+			miceDM++
+		}
+	}
+	if frac := float64(miceWS) / n; frac < 0.6 {
+		t.Errorf("WebSearch mice count fraction = %.2f, want > 0.6", frac)
+	}
+	if frac := float64(miceDM) / n; frac < 0.9 {
+		t.Errorf("DataMining mice count fraction = %.2f, want > 0.9", frac)
+	}
+	if frac := elephantBytesDM / bytesDM; frac < 0.8 {
+		t.Errorf("DataMining elephant byte share = %.2f, want > 0.8", frac)
+	}
+}
+
+func TestIsElephant(t *testing.T) {
+	if IsElephant(ElephantThreshold - 1) {
+		t.Error("just-under-threshold flow classified elephant")
+	}
+	if !IsElephant(ElephantThreshold) {
+		t.Error("threshold flow not elephant")
+	}
+}
+
+type startRec struct {
+	src, dst topo.NodeID
+	meta     FlowMeta
+}
+
+func genFixture(t *testing.T, cfg Config) (*sim.Engine, *Generator, *[]startRec) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var recs []startRec
+	if cfg.Hosts == nil {
+		ls := topo.BuildLeafSpine(topo.SmallScale())
+		cfg.Hosts = ls.Hosts
+	}
+	if cfg.HostRateBps == 0 {
+		cfg.HostRateBps = 10e9
+	}
+	g := NewGenerator(eng, cfg, 11, func(src, dst topo.NodeID, size int64, meta FlowMeta) {
+		recs = append(recs, startRec{src, dst, meta})
+	})
+	return eng, g, &recs
+}
+
+func TestGeneratorOfferedLoad(t *testing.T) {
+	eng, g, recs := genFixture(t, Config{CDF: WebSearch(), Load: 0.5})
+	g.Start()
+	horizon := 200 * sim.Millisecond
+	eng.RunUntil(horizon)
+	g.Stop()
+	offered := float64(g.BytesOffered) * 8 / horizon.Seconds()
+	want := 16 * 10e9 * 0.5
+	if math.Abs(offered-want)/want > 0.15 {
+		t.Fatalf("offered load %.3g bps, want %.3g ±15%%", offered, want)
+	}
+	if len(*recs) == 0 {
+		t.Fatal("no flows emitted")
+	}
+	for _, r := range *recs {
+		if r.src == r.dst {
+			t.Fatal("self flow emitted")
+		}
+		if r.meta.Incast {
+			t.Fatal("incast flow emitted with IncastFraction=0")
+		}
+	}
+}
+
+func TestGeneratorIncastMix(t *testing.T) {
+	eng, g, recs := genFixture(t, Config{
+		CDF: WebSearch(), Load: 0.5,
+		IncastFraction: 0.3, IncastFanIn: 4, IncastChunk: 64 << 10,
+	})
+	g.Start()
+	eng.RunUntil(200 * sim.Millisecond)
+	g.Stop()
+	var incBytes, bgBytes float64
+	groups := map[int64][]startRec{}
+	for _, r := range *recs {
+		if r.meta.Incast {
+			incBytes += float64(r.meta.Size)
+			groups[r.meta.GroupID] = append(groups[r.meta.GroupID], r)
+		} else {
+			bgBytes += float64(r.meta.Size)
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("no incast groups emitted")
+	}
+	frac := incBytes / (incBytes + bgBytes)
+	if math.Abs(frac-0.3) > 0.1 {
+		t.Fatalf("incast byte fraction = %.2f, want ~0.3", frac)
+	}
+	for id, flows := range groups {
+		if len(flows) != 4 {
+			t.Fatalf("group %d has %d senders, want 4", id, len(flows))
+		}
+		dst := flows[0].dst
+		seen := map[topo.NodeID]bool{}
+		for _, f := range flows {
+			if f.dst != dst {
+				t.Fatalf("group %d has mixed receivers", id)
+			}
+			if f.src == dst {
+				t.Fatalf("group %d: receiver sends to itself", id)
+			}
+			if seen[f.src] {
+				t.Fatalf("group %d: duplicate sender", id)
+			}
+			seen[f.src] = true
+		}
+	}
+	if g.IncastFlows != int64(len(groups)*4) {
+		t.Fatalf("IncastFlows counter %d != %d", g.IncastFlows, len(groups)*4)
+	}
+}
+
+func TestGeneratorFanInClamped(t *testing.T) {
+	ls := topo.BuildLeafSpine(topo.TinyScale()) // 4 hosts
+	eng := sim.NewEngine()
+	var maxGroup int
+	groups := map[int64]int{}
+	g := NewGenerator(eng, Config{
+		Hosts: ls.Hosts, HostRateBps: 10e9, CDF: WebSearch(), Load: 0.9,
+		IncastFraction: 1.0, IncastFanIn: 100,
+	}, 3, func(src, dst topo.NodeID, size int64, meta FlowMeta) {
+		groups[meta.GroupID]++
+		if groups[meta.GroupID] > maxGroup {
+			maxGroup = groups[meta.GroupID]
+		}
+	})
+	g.Start()
+	eng.RunUntil(10 * sim.Millisecond)
+	g.Stop()
+	if maxGroup != 3 {
+		t.Fatalf("fan-in = %d with 4 hosts, want clamp to 3", maxGroup)
+	}
+}
+
+func TestSetWorkloadSwitch(t *testing.T) {
+	eng, g, recs := genFixture(t, Config{CDF: Uniform(1000, 1001), Load: 0.3})
+	g.Start()
+	eng.RunUntil(50 * sim.Millisecond)
+	nBefore := len(*recs)
+	g.SetWorkload(Uniform(5_000_000, 5_000_001), 0.3)
+	eng.RunUntil(100 * sim.Millisecond)
+	g.Stop()
+	if nBefore == 0 || len(*recs) == nBefore {
+		t.Fatal("generator idle before or after switch")
+	}
+	for i, r := range *recs {
+		small := r.meta.Size <= 1001
+		if (i < nBefore) != small {
+			t.Fatalf("flow %d has size %d on the wrong side of the switch", i, r.meta.Size)
+		}
+	}
+}
+
+func TestGeneratorStopHalts(t *testing.T) {
+	eng, g, recs := genFixture(t, Config{CDF: WebSearch(), Load: 0.8})
+	g.Start()
+	eng.RunUntil(20 * sim.Millisecond)
+	g.Stop()
+	n := len(*recs)
+	eng.RunUntil(100 * sim.Millisecond)
+	if len(*recs) != n {
+		t.Fatal("flows emitted after Stop")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		eng, g, _ := genFixture(t, Config{CDF: DataMining(), Load: 0.6, IncastFraction: 0.2})
+		g.Start()
+		eng.RunUntil(50 * sim.Millisecond)
+		return g.FlowsStarted, g.BytesOffered
+	}
+	f1, b1 := run()
+	f2, b2 := run()
+	if f1 != f2 || b1 != b2 {
+		t.Fatalf("non-deterministic generation: (%d,%d) vs (%d,%d)", f1, b1, f2, b2)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	ls := topo.BuildLeafSpine(topo.TinyScale())
+	cases := []Config{
+		{Hosts: ls.Hosts[:1], HostRateBps: 1e9, CDF: WebSearch(), Load: 0.5},
+		{Hosts: ls.Hosts, HostRateBps: 1e9, CDF: WebSearch(), Load: 0},
+		{Hosts: ls.Hosts, HostRateBps: 1e9, CDF: WebSearch(), Load: 1.5},
+		{Hosts: ls.Hosts, HostRateBps: 1e9, CDF: WebSearch(), Load: 0.5, IncastFraction: -0.1},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config accepted", i)
+				}
+			}()
+			NewGenerator(eng, cfg, 1, func(topo.NodeID, topo.NodeID, int64, FlowMeta) {})
+		}()
+	}
+}

@@ -1,0 +1,242 @@
+// Package pet is a from-scratch Go reproduction of "PET: Multi-agent
+// Independent PPO-based Automatic ECN Tuning for High-Speed Data Center
+// Networks" (CLUSTER 2025).
+//
+// The package re-exports the library's public surface:
+//
+//   - A packet-level data-center network simulator (leaf-spine topologies,
+//     ECMP, RED/ECN egress queues, link failures) with a DCQCN transport.
+//   - PET itself: one Independent-PPO agent per switch, observing queue
+//     length, link rates, marked rates, the current ECN configuration, the
+//     incast degree and the mice/elephant flow ratio, and emitting discrete
+//     (Kmin, Kmax, Pmax) RED configurations every Δt.
+//   - The comparison schemes: ACC (DDQN with global experience replay) and
+//     the static SECN1 (DCQCN) / SECN2 (HPCC) threshold settings.
+//   - The experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	result := pet.Run(pet.Scenario{Scheme: pet.SchemePET, Train: true, Load: 0.5})
+//	fmt.Println(result.Overall.AvgSlowdown)
+//
+// Or regenerate a whole figure:
+//
+//	runner := pet.NewRunner()
+//	for _, table := range runner.Fig4() {
+//		fmt.Println(table)
+//	}
+package pet
+
+import (
+	"pet/internal/acc"
+	"pet/internal/bench"
+	"pet/internal/core"
+	"pet/internal/dcqcn"
+	"pet/internal/dctcp"
+	"pet/internal/netsim"
+	"pet/internal/sim"
+	"pet/internal/stats"
+	"pet/internal/topo"
+	"pet/internal/workload"
+)
+
+// Simulation time. Time is an int64 count of picoseconds.
+type Time = sim.Time
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Engine is the deterministic discrete-event scheduler driving a run.
+type Engine = sim.Engine
+
+// NewEngine returns an engine with its clock at zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// Topology construction.
+type (
+	// LeafSpineConfig parameterizes a two-tier Clos fabric.
+	LeafSpineConfig = topo.LeafSpineConfig
+	// LeafSpine is a built fabric with host/leaf/spine indices.
+	LeafSpine = topo.LeafSpine
+)
+
+// BuildLeafSpine constructs a leaf-spine fabric.
+func BuildLeafSpine(cfg LeafSpineConfig) *LeafSpine { return topo.BuildLeafSpine(cfg) }
+
+// PaperScale returns the paper's 288-host, 6-spine/12-leaf fabric.
+func PaperScale() LeafSpineConfig { return topo.PaperScale() }
+
+// SmallScale returns a 16-host fabric preserving the paper's shape.
+func SmallScale() LeafSpineConfig { return topo.SmallScale() }
+
+// TinyScale returns the smallest multi-path fabric (8 hosts), used by the
+// default benchmarks.
+func TinyScale() LeafSpineConfig { return topo.TinyScale() }
+
+// Network-level types.
+type (
+	// Network is the runtime packet network over a topology.
+	Network = netsim.Network
+	// NetworkConfig sets MTU, buffering, queue count and default ECN.
+	NetworkConfig = netsim.Config
+	// ECNConfig is one queue's RED/ECN marking configuration.
+	ECNConfig = netsim.ECNConfig
+	// Port is a switch or host egress port.
+	Port = netsim.Port
+)
+
+// NewNetwork builds the runtime network for a topology graph.
+func NewNetwork(eng *Engine, ls *LeafSpine, seed int64, cfg NetworkConfig) *Network {
+	return netsim.New(eng, ls.Graph, seed, cfg)
+}
+
+// Transport types.
+type (
+	// Transport is the DCQCN congestion-controlled transport.
+	Transport = dcqcn.Transport
+	// TransportConfig holds DCQCN parameters.
+	TransportConfig = dcqcn.Config
+	// Flow is one sender→receiver transfer.
+	Flow = dcqcn.Flow
+	// DCTCPTransport is the window-based DCTCP transport.
+	DCTCPTransport = dctcp.Transport
+	// DCTCPConfig holds DCTCP parameters.
+	DCTCPConfig = dctcp.Config
+	// TransportKind selects the end-host stack in a Scenario.
+	TransportKind = bench.TransportKind
+)
+
+// The selectable end-host transports.
+const (
+	TransportDCQCN = bench.TransportDCQCN
+	TransportDCTCP = bench.TransportDCTCP
+)
+
+// NewTransport attaches a DCQCN transport to every host of the network.
+func NewTransport(net *Network, cfg TransportConfig) *Transport {
+	return dcqcn.NewTransport(net, cfg)
+}
+
+// NewDCTCPTransport attaches a DCTCP transport to every host instead.
+func NewDCTCPTransport(net *Network, cfg DCTCPConfig) *DCTCPTransport {
+	return dctcp.NewTransport(net, cfg)
+}
+
+// Workload generation.
+type (
+	// CDF is a flow-size distribution.
+	CDF = workload.CDF
+	// Generator emits Poisson background and incast traffic.
+	Generator = workload.Generator
+	// GeneratorConfig parameterizes a Generator.
+	GeneratorConfig = workload.Config
+	// FlowMeta annotates generated flows.
+	FlowMeta = workload.FlowMeta
+)
+
+// WebSearch returns the DCTCP web-search flow-size distribution.
+func WebSearch() *CDF { return workload.WebSearch() }
+
+// DataMining returns the VL2 data-mining flow-size distribution.
+func DataMining() *CDF { return workload.DataMining() }
+
+// NewGenerator wires a workload generator to an engine and start callback.
+func NewGenerator(eng *Engine, cfg GeneratorConfig, seed int64, start workload.StartFunc) *Generator {
+	return workload.NewGenerator(eng, cfg, seed, start)
+}
+
+// PET — the paper's contribution.
+type (
+	// Controller is the PET multi-agent (DTDE) system over one network.
+	Controller = core.Controller
+	// ControllerConfig parameterizes PET (defaults follow Sec. 5.2).
+	ControllerConfig = core.Config
+	// SwitchAgent is one per-switch IPPO agent.
+	SwitchAgent = core.SwitchAgent
+	// NCM is the Network Condition Monitor of one agent.
+	NCM = core.NCM
+)
+
+// NewController builds the PET controller: one IPPO agent per switch.
+func NewController(net *Network, cfg ControllerConfig) *Controller {
+	return core.NewController(net, cfg)
+}
+
+// Baselines.
+type (
+	// ACCController is the ACC (DDQN + global replay) baseline system.
+	ACCController = acc.Controller
+	// ACCConfig parameterizes the ACC baseline.
+	ACCConfig = acc.Config
+)
+
+// NewACCController builds the ACC baseline controller.
+func NewACCController(net *Network, cfg ACCConfig) *ACCController {
+	return acc.NewController(net, cfg)
+}
+
+// Experiment harness.
+type (
+	// Scenario describes one simulation run end to end.
+	Scenario = bench.Scenario
+	// Result summarizes one completed run.
+	Result = bench.Result
+	// Env is an assembled, inspectable scenario.
+	Env = bench.Env
+	// Runner regenerates the paper's tables and figures.
+	Runner = bench.Runner
+	// Table is a printable experiment output.
+	Table = bench.Table
+	// Scheme selects the ECN control strategy under test.
+	Scheme = bench.Scheme
+	// Event is a scheduled mid-run perturbation.
+	Event = bench.Event
+)
+
+// The compared schemes.
+const (
+	SchemePET        = bench.SchemePET
+	SchemePETAblated = bench.SchemePETAblated
+	SchemeACC        = bench.SchemeACC
+	SchemeSECN1      = bench.SchemeSECN1
+	SchemeSECN2      = bench.SchemeSECN2
+	SchemeAMT        = bench.SchemeAMT
+	SchemeQAECN      = bench.SchemeQAECN
+	SchemePETCTDE    = bench.SchemePETCTDE
+)
+
+// CTDEController is the MAPPO (centralized-training) PET variant.
+type CTDEController = core.CTDEController
+
+// NewCTDEController builds the CTDE variant: local actors, one central
+// critic over the joint observation.
+func NewCTDEController(net *Network, cfg ControllerConfig) *CTDEController {
+	return core.NewCTDEController(net, cfg)
+}
+
+// Run assembles and executes a scenario.
+func Run(s Scenario) Result { return bench.Run(s) }
+
+// NewEnv assembles a scenario without running it, for custom wiring.
+func NewEnv(s Scenario) *Env { return bench.NewEnv(s) }
+
+// NewRunner returns the experiment runner with laptop-scale defaults.
+func NewRunner() *Runner { return bench.NewRunner() }
+
+// PretrainPET runs the offline training phase and returns a model bundle
+// loadable via Scenario.Models.
+func PretrainPET(s Scenario, dur Time) []byte { return bench.PretrainPET(s, dur) }
+
+// Statistics.
+type (
+	// Summary aggregates FCTs of one flow bucket.
+	Summary = stats.Summary
+	// FCTRecord is one completed flow's statistics.
+	FCTRecord = stats.FCTRecord
+)

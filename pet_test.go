@@ -1,0 +1,71 @@
+package pet_test
+
+import (
+	"testing"
+
+	"pet"
+)
+
+// TestPublicAPIEndToEnd drives the facade exactly as README's quickstart
+// does: build, run, inspect.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	res := pet.Run(pet.Scenario{
+		Scheme:   pet.SchemePET,
+		Train:    true,
+		Load:     0.5,
+		Warmup:   5 * pet.Millisecond,
+		Duration: 10 * pet.Millisecond,
+	})
+	if res.FlowsDone == 0 {
+		t.Fatal("no flows completed via public API")
+	}
+	if res.Overall.AvgSlowdown < 1 {
+		t.Fatalf("slowdown %v < 1", res.Overall.AvgSlowdown)
+	}
+}
+
+func TestPublicAPILowLevel(t *testing.T) {
+	eng := pet.NewEngine()
+	ls := pet.BuildLeafSpine(pet.TinyScale())
+	net := pet.NewNetwork(eng, ls, 7, pet.NetworkConfig{BufferPerQueue: 4 << 20})
+	tr := pet.NewTransport(net, pet.TransportConfig{})
+	ctl := pet.NewController(net, pet.ControllerConfig{Alpha: 2, Train: true, Interval: 100 * pet.Microsecond})
+	ctl.Start()
+
+	done := 0
+	tr.OnFlowComplete(func(f *pet.Flow) { done++ })
+	tr.StartFlow(ls.Hosts[0], ls.Hosts[3], 100_000, 0)
+	tr.StartFlow(ls.Hosts[1], ls.Hosts[3], 100_000, 0)
+	eng.RunUntil(20 * pet.Millisecond)
+
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+	if len(ctl.Agents()) != 4 {
+		t.Fatalf("agents = %d", len(ctl.Agents()))
+	}
+}
+
+func TestPublicAPIPretrainPipeline(t *testing.T) {
+	models := pet.PretrainPET(pet.Scenario{Load: 0.5}, 5*pet.Millisecond)
+	res := pet.Run(pet.Scenario{
+		Scheme:   pet.SchemePET,
+		Models:   models,
+		Train:    true,
+		Load:     0.5,
+		Warmup:   3 * pet.Millisecond,
+		Duration: 8 * pet.Millisecond,
+	})
+	if res.FlowsDone == 0 {
+		t.Fatal("pretrain pipeline produced no flows")
+	}
+}
+
+func TestWorkloadFacades(t *testing.T) {
+	if pet.WebSearch().Name() != "WebSearch" || pet.DataMining().Name() != "DataMining" {
+		t.Fatal("workload names wrong")
+	}
+	if pet.PaperScale().Spines != 6 || len(pet.BuildLeafSpine(pet.SmallScale()).Hosts) != 16 {
+		t.Fatal("topology facades wrong")
+	}
+}
