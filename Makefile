@@ -1,0 +1,24 @@
+# Verification tiers. `make ci` is the full gate; see README.md.
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race tier: the rollout fleet (internal/fleet) runs worker goroutines that
+# each own a full simulation; this catches any shared state leaking between
+# them. Slower than `make test` — the detector instruments every access.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: build vet test race

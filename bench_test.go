@@ -8,6 +8,8 @@
 package pet_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"pet"
@@ -133,6 +135,35 @@ func BenchmarkAblationDynamicBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
 		logTables(b, i, r.DynamicBaselines())
+	}
+}
+
+// BenchmarkPretrainFleet measures offline pre-training throughput on the
+// parallel rollout fleet at 1, 2 and NumCPU workers, reporting episodes per
+// second of simulated training. On a multi-core runner episodes/sec should
+// scale near-linearly with workers (each worker owns an independent
+// engine), which is the wall-clock speedup of PretrainFleet over the
+// sequential PretrainPET.
+func BenchmarkPretrainFleet(b *testing.B) {
+	seen := map[int]bool{}
+	for _, w := range []int{1, 2, runtime.NumCPU()} {
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := pet.Scenario{Seed: int64(i + 1), Load: 0.4, IncastFraction: 0.2, IncastFanIn: 3}
+				res, err := pet.PretrainFleet(s, 5*pet.Millisecond, pet.FleetConfig{Workers: w, Rounds: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Models) == 0 {
+					b.Fatal("empty model bundle")
+				}
+			}
+			b.ReportMetric(float64(b.N*w)/b.Elapsed().Seconds(), "episodes/sec")
+		})
 	}
 }
 

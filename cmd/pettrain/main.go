@@ -1,16 +1,27 @@
-// Command pettrain runs PET's offline pre-training phase (Sec. 4.4.1) and
-// writes the resulting per-switch model bundle for later deployment.
+// Command pettrain runs PET's offline pre-training phase (Sec. 4.4.1) on a
+// parallel rollout fleet and writes the resulting per-switch model bundle
+// for later deployment.
 //
 // Usage:
 //
 //	pettrain -workload websearch -duration 200ms -out pet.model
+//	pettrain -workers 8 -rounds 20 -checkpoint ckpt/ -out pet.model
+//	pettrain -workers 8 -rounds 40 -checkpoint ckpt/ -resume -out pet.model
 //	petsim -scheme PET -models pet.model
+//
+// -duration is the simulated training time of one episode; every round each
+// worker runs one episode and the learned weights are merged, so total
+// simulated training is duration × workers × rounds. With -workers=1
+// -rounds=1 (the default) the bundle is bit-identical to the historical
+// sequential pre-training. -checkpoint makes each round's merged bundle
+// crash-safe on disk; -resume continues an interrupted run from it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pet"
@@ -18,12 +29,17 @@ import (
 
 func main() {
 	var (
-		topoF = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
-		wlF   = flag.String("workload", "websearch", "websearch | datamining")
-		load  = flag.Float64("load", 0.6, "offered training load")
-		dur   = flag.Duration("duration", 100*time.Millisecond, "simulated training time")
-		seed  = flag.Int64("seed", 1, "root random seed")
-		out   = flag.String("out", "pet.model", "output model bundle path")
+		topoF   = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		wlF     = flag.String("workload", "websearch", "websearch | datamining")
+		load    = flag.Float64("load", 0.6, "offered training load")
+		dur     = flag.Duration("duration", 100*time.Millisecond, "simulated training time per episode")
+		seed    = flag.Int64("seed", 1, "root random seed")
+		out     = flag.String("out", "pet.model", "output model bundle path")
+		workers = flag.Int("workers", 1, "parallel rollout workers (0 = all cores)")
+		rounds  = flag.Int("rounds", 1, "synchronized merge rounds")
+		ckpt    = flag.String("checkpoint", "", "checkpoint directory (atomic per-round bundle + manifest)")
+		resume  = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint")
+		quiet   = flag.Bool("q", false, "suppress per-round progress")
 	)
 	flag.Parse()
 
@@ -51,13 +67,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
+	cfg := pet.FleetConfig{
+		Workers:    *workers,
+		Rounds:     *rounds,
+		Checkpoint: *ckpt,
+		Resume:     *resume,
+	}
+	if !*quiet {
+		cfg.OnRound = func(r pet.FleetRound) {
+			fmt.Printf("round %d/%d: %d episodes, mean reward %.4f, %d PPO updates\n",
+				r.Round+1, *rounds, r.Episodes, r.MeanReward, r.Updates)
+		}
+	}
+
 	start := time.Now()
-	models := pet.PretrainPET(s, pet.Time(dur.Nanoseconds())*pet.Nanosecond)
-	if err := os.WriteFile(*out, models, 0o644); err != nil {
+	res, err := pet.PretrainFleet(s, pet.Time(dur.Nanoseconds())*pet.Nanosecond, cfg)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("trained %s/%s for %v simulated time in %v wall clock\n",
-		*topoF, *wlF, dur, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("wrote %d bytes to %s\n", len(models), *out)
+	if res.ResumedFrom > 0 {
+		fmt.Printf("resumed from checkpoint at round %d\n", res.ResumedFrom)
+	}
+	if err := os.WriteFile(*out, res.Models, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
+		os.Exit(1)
+	}
+	episodes := (res.Rounds - res.ResumedFrom) * cfg.Workers
+	fmt.Printf("trained %s/%s: %d rounds (%d episodes of %v simulated time) in %v wall clock\n",
+		*topoF, *wlF, res.Rounds, episodes, dur, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %d bytes to %s\n", len(res.Models), *out)
 }

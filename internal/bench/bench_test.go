@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
 	"strings"
 
 	"pet/internal/stats"
@@ -281,6 +284,84 @@ func TestTraceCollection(t *testing.T) {
 		if !kinds[want] {
 			t.Fatalf("trace missing %q events (have %v)", want, kinds)
 		}
+	}
+}
+
+func TestPretrainEpisodeDeterministicAndChains(t *testing.T) {
+	s := Scenario{Load: 0.4}
+	a, err := PretrainEpisode(s, 3*sim.Millisecond, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PretrainEpisode(s, 3*sim.Millisecond, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Models, b.Models) {
+		t.Fatal("same (scenario, seed) episode produced different bundles")
+	}
+	if a.MeanReward <= 0 {
+		t.Fatalf("mean reward = %v", a.MeanReward)
+	}
+	// Episodes chain: a later episode starts from the earlier weights.
+	if _, err := PretrainEpisode(s, 3*sim.Millisecond, 8, a.Models); err != nil {
+		t.Fatalf("chained episode: %v", err)
+	}
+	// A corrupt base bundle is an error, not a panic.
+	if _, err := PretrainEpisode(s, 3*sim.Millisecond, 8, []byte("junk")); err == nil {
+		t.Fatal("junk base models accepted")
+	}
+}
+
+func TestEpisodeTraceCSVRoundTrip(t *testing.T) {
+	// Export a real episode's trace and re-parse it: every recorded event
+	// must come back, in insertion order with nondecreasing timestamps.
+	env := NewEnv(Scenario{
+		Scheme:   SchemePET,
+		Train:    true,
+		Load:     0.4,
+		Warmup:   2 * sim.Millisecond,
+		Duration: 6 * sim.Millisecond,
+		Trace:    true,
+	})
+	env.Run()
+	if env.Trace.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	var buf bytes.Buffer
+	if err := env.Trace.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("episode CSV does not re-parse: %v", err)
+	}
+	if got, want := len(rows)-1, env.Trace.Len(); got != want {
+		t.Fatalf("exported %d rows for %d events", got, want)
+	}
+	kindCol := -1
+	for i, k := range rows[0] {
+		if k == "kind" {
+			kindCol = i
+		}
+	}
+	if kindCol < 0 {
+		t.Fatalf("no kind column in header %v", rows[0])
+	}
+	prev := -1.0
+	for i, e := range env.Trace.Events() {
+		row := rows[1+i]
+		if row[kindCol] != string(e.Kind) {
+			t.Fatalf("row %d kind %q, event %q", i, row[kindCol], e.Kind)
+		}
+		tus, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			t.Fatalf("row %d t_us %q: %v", i, row[0], err)
+		}
+		if tus < prev {
+			t.Fatalf("row %d timestamp %v before %v", i, tus, prev)
+		}
+		prev = tus
 	}
 }
 

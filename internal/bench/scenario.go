@@ -489,25 +489,72 @@ func (e *Env) SetLinksUp(links []topo.LinkID, up bool) {
 // Run assembles and executes a scenario in one call.
 func Run(s Scenario) Result { return NewEnv(s).Run() }
 
-// PretrainPET runs the offline training phase (Sec. 4.4.1): a training-only
-// simulation on the scenario's fabric and workload whose learned models are
-// returned for deployment in subsequent (online) runs.
-func PretrainPET(s Scenario, dur sim.Time) []byte {
+// pretrainScenario normalizes a scenario for one offline-training episode:
+// PET scheme, training on, no preloaded models, no events, and the episode
+// seed substituted in.
+func pretrainScenario(s Scenario, dur sim.Time, seed int64) Scenario {
 	s = s.withDefaults()
 	if s.Scheme != SchemePETAblated {
 		s.Scheme = SchemePET
 	}
+	s.Seed = seed
 	s.Train = true
 	s.Models = nil
 	s.Warmup = 0
 	s.Duration = dur
 	s.Events = nil
-	env := NewEnv(s)
+	return s
+}
+
+// EpisodeStats summarizes one offline-training episode.
+type EpisodeStats struct {
+	Models     []byte  // trained model bundle (core.Controller.EncodeModels)
+	MeanReward float64 // average per-slot reward across agents
+	Updates    int     // completed IPPO updates across agents
+}
+
+// PretrainEpisode runs one deterministic offline-training episode: assemble
+// the scenario on the given seed, optionally restore an initial model
+// bundle, simulate dur of training traffic, and return the trained bundle.
+// This is the episode-granular rollout primitive the parallel pre-training
+// fleet drives — each worker owns its own engine and environment, so
+// determinism per (scenario, seed) is preserved under concurrency.
+func PretrainEpisode(s Scenario, dur sim.Time, seed int64, models []byte) (EpisodeStats, error) {
+	env := NewEnv(pretrainScenario(s, dur, seed))
+	if len(models) > 0 {
+		if err := env.PET.LoadModels(models); err != nil {
+			return EpisodeStats{}, fmt.Errorf("bench: loading episode base models: %w", err)
+		}
+	}
 	env.Gen.Start()
 	env.Eng.RunUntil(dur)
 	data, err := env.PET.EncodeModels()
 	if err != nil {
-		panic(fmt.Sprintf("bench: encoding pretrained models: %v", err))
+		return EpisodeStats{}, fmt.Errorf("bench: encoding pretrained models: %w", err)
 	}
-	return data
+	return EpisodeStats{
+		Models:     data,
+		MeanReward: env.PET.MeanReward(),
+		Updates:    env.PET.TotalUpdates(),
+	}, nil
+}
+
+// PretrainInit returns the untrained model bundle a scenario's controller
+// starts from — the common base the fleet broadcasts to every worker before
+// the first round so merged weight deltas share one origin.
+func PretrainInit(s Scenario) ([]byte, error) {
+	env := NewEnv(pretrainScenario(s, 0, s.Seed))
+	return env.PET.EncodeModels()
+}
+
+// PretrainPET runs the offline training phase (Sec. 4.4.1): a training-only
+// simulation on the scenario's fabric and workload whose learned models are
+// returned for deployment in subsequent (online) runs. It is the
+// single-episode sequential path; internal/fleet parallelizes it.
+func PretrainPET(s Scenario, dur sim.Time) []byte {
+	ep, err := PretrainEpisode(s, dur, s.Seed, nil)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return ep.Models
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"pet/internal/netsim"
+	"pet/internal/rl/ppo"
 	"pet/internal/rng"
 	"pet/internal/sim"
 	"pet/internal/topo"
@@ -121,21 +122,42 @@ func (c *Controller) MeanReward() float64 {
 	return sum / float64(len(c.agents))
 }
 
-// modelBundle is the gob wire format of saved per-switch models.
+// modelBundle is the gob wire format of saved per-switch models: parallel
+// slices sorted by switch NodeID. The sorted-slice layout (rather than a
+// map) makes encoding byte-deterministic — equal weights always produce
+// equal bundle bytes, which the fleet's reproducibility guarantees and its
+// checkpoint checksums rely on.
 type modelBundle struct {
-	Models map[int][]byte // keyed by switch NodeID
+	Switches []int
+	Models   [][]byte
+}
+
+func decodeBundle(data []byte) (*modelBundle, error) {
+	var b modelBundle
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
+		return nil, fmt.Errorf("core: decoding model bundle: %w", err)
+	}
+	if len(b.Switches) != len(b.Models) {
+		return nil, fmt.Errorf("core: model bundle has %d switches but %d models",
+			len(b.Switches), len(b.Models))
+	}
+	if !sort.IntsAreSorted(b.Switches) {
+		return nil, fmt.Errorf("core: model bundle switches not sorted: %v", b.Switches)
+	}
+	return &b, nil
 }
 
 // EncodeModels serializes every agent's networks — the artifact the
 // offline pre-training phase ships to switches (Sec. 4.4.1).
 func (c *Controller) EncodeModels() ([]byte, error) {
-	b := modelBundle{Models: make(map[int][]byte, len(c.agents))}
-	for _, a := range c.agents {
+	var b modelBundle
+	for _, a := range c.agents { // agents are already in NodeID order
 		data, err := a.agent.Encode()
 		if err != nil {
 			return nil, fmt.Errorf("core: encoding agent %d: %w", a.Switch, err)
 		}
-		b.Models[int(a.Switch)] = data
+		b.Switches = append(b.Switches, int(a.Switch))
+		b.Models = append(b.Models, data)
 	}
 	var buf bytes.Buffer
 	err := gob.NewEncoder(&buf).Encode(b)
@@ -144,14 +166,31 @@ func (c *Controller) EncodeModels() ([]byte, error) {
 
 // LoadModels restores agent networks saved by EncodeModels. Agents without
 // a matching entry keep their current weights. The architecture (ObsDim,
-// Heads, Hidden) must match.
+// Heads, Hidden) must match. The load is all-or-nothing: every snapshot in
+// the bundle is validated before the first agent is touched, so a
+// corrupted or truncated bundle leaves the controller exactly as it was.
 func (c *Controller) LoadModels(data []byte) error {
-	var b modelBundle
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
-		return fmt.Errorf("core: decoding model bundle: %w", err)
+	b, err := decodeBundle(data)
+	if err != nil {
+		return err
 	}
+	models := make(map[int][]byte, len(b.Switches))
+	for i, sw := range b.Switches {
+		models[sw] = b.Models[i]
+	}
+	// Phase 1: validate every matching snapshot without mutating anything.
 	for _, a := range c.agents {
-		m, ok := b.Models[int(a.Switch)]
+		m, ok := models[int(a.Switch)]
+		if !ok {
+			continue
+		}
+		if err := a.agent.ValidateSnapshot(m); err != nil {
+			return fmt.Errorf("core: validating agent %d: %w", a.Switch, err)
+		}
+	}
+	// Phase 2: apply. Post-validation these restores cannot fail.
+	for _, a := range c.agents {
+		m, ok := models[int(a.Switch)]
 		if !ok {
 			continue
 		}
@@ -160,4 +199,56 @@ func (c *Controller) LoadModels(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// MergeModelBundles folds bundles saved by EncodeModels into one bundle by
+// element-wise averaging each switch's policy and critic weights across the
+// inputs — the synchronized merge step of parallel pre-training. All
+// bundles must cover the same switch set. A single bundle is returned
+// byte-for-byte unchanged.
+func MergeModelBundles(bundles [][]byte) ([]byte, error) {
+	if len(bundles) == 0 {
+		return nil, fmt.Errorf("core: merging zero bundles")
+	}
+	if len(bundles) == 1 {
+		return append([]byte(nil), bundles[0]...), nil
+	}
+	decoded := make([]*modelBundle, len(bundles))
+	for i, data := range bundles {
+		b, err := decodeBundle(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: bundle %d: %w", i, err)
+		}
+		decoded[i] = b
+	}
+	first := decoded[0]
+	for i, b := range decoded[1:] {
+		if len(b.Switches) != len(first.Switches) {
+			return nil, fmt.Errorf("core: bundle %d covers %d switches, bundle 0 covers %d",
+				i+1, len(b.Switches), len(first.Switches))
+		}
+		for j, sw := range b.Switches {
+			if sw != first.Switches[j] {
+				return nil, fmt.Errorf("core: bundle %d switch set %v differs from bundle 0 %v",
+					i+1, b.Switches, first.Switches)
+			}
+		}
+	}
+	out := modelBundle{Switches: first.Switches}
+	for j, sw := range first.Switches {
+		column := make([][]byte, len(decoded))
+		for i, b := range decoded {
+			column[i] = b.Models[j]
+		}
+		merged, err := ppo.MergeSnapshots(column)
+		if err != nil {
+			return nil, fmt.Errorf("core: merging switch %d: %w", sw, err)
+		}
+		out.Models = append(out.Models, merged)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

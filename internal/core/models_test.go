@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"pet/internal/sim"
+)
+
+// trainedBundle runs a short training episode and returns the controller
+// plus its encoded bundle.
+func trainedBundle(t *testing.T, seed int64) (*Controller, []byte) {
+	t.Helper()
+	f := newFixture(t, seed)
+	cfg := testConfig()
+	cfg.Seed = seed
+	ctl := NewController(f.net, cfg)
+	ctl.Start()
+	f.gen.Start()
+	f.eng.RunUntil(10 * sim.Millisecond)
+	data, err := ctl.EncodeModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl, data
+}
+
+func reencode(t *testing.T, b *modelBundle) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEncodeModelsDeterministic(t *testing.T) {
+	ctl, first := trainedBundle(t, 3)
+	second, err := ctl.EncodeModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("EncodeModels is not byte-deterministic")
+	}
+}
+
+func TestLoadModelsCorruptBundleLeavesWeightsUntouched(t *testing.T) {
+	ctl, before := trainedBundle(t, 3)
+	_, donor := trainedBundle(t, 4)
+
+	db, err := decodeBundle(donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Models) < 2 {
+		t.Fatalf("need ≥2 switches for partial-load injection, have %d", len(db.Models))
+	}
+
+	// Corrupt only the LAST switch's snapshot: a non-staged loader would
+	// restore every earlier agent from the donor before failing.
+	last := len(db.Models) - 1
+	corrupt := &modelBundle{Switches: db.Switches, Models: append([][]byte(nil), db.Models...)}
+	corrupt.Models[last] = db.Models[last][:len(db.Models[last])/2]
+
+	cases := map[string][]byte{
+		"truncated-agent-snapshot": reencode(t, corrupt),
+		"truncated-bundle":         donor[:len(donor)/2],
+		"garbage":                  {1, 2, 3, 4, 5},
+		"mismatched-lengths":       reencode(t, &modelBundle{Switches: db.Switches, Models: db.Models[:1]}),
+	}
+	for name, bad := range cases {
+		if err := ctl.LoadModels(bad); err == nil {
+			t.Fatalf("%s: corrupted bundle loaded without error", name)
+		}
+		after, err := ctl.EncodeModels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatalf("%s: failed load left partially-restored agent weights", name)
+		}
+	}
+
+	// The intact donor bundle must still load after all the failures.
+	if err := ctl.LoadModels(donor); err != nil {
+		t.Fatalf("intact bundle rejected: %v", err)
+	}
+	after, _ := ctl.EncodeModels()
+	if !bytes.Equal(after, donor) {
+		t.Fatal("successful load did not adopt donor weights")
+	}
+}
+
+func TestMergeModelBundlesAveragesPerSwitch(t *testing.T) {
+	_, a := trainedBundle(t, 5)
+	_, b := trainedBundle(t, 6)
+	merged, err := MergeModelBundles([][]byte{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged bundle must load into a fresh controller.
+	f := newFixture(t, 7)
+	ctl := NewController(f.net, testConfig())
+	if err := ctl.LoadModels(merged); err != nil {
+		t.Fatalf("merged bundle rejected: %v", err)
+	}
+	// Merging a bundle with itself must be a fixpoint.
+	self, err := MergeModelBundles([][]byte{a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := decodeBundle(a)
+	ds, _ := decodeBundle(self)
+	for i := range da.Models {
+		// Averaging x with x re-encodes the same floats.
+		if !bytes.Equal(da.Models[i], ds.Models[i]) {
+			t.Fatalf("self-merge changed switch %d weights", da.Switches[i])
+		}
+	}
+}
+
+func TestMergeModelBundlesSingleIsIdentity(t *testing.T) {
+	_, a := trainedBundle(t, 5)
+	merged, err := MergeModelBundles([][]byte{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, a) {
+		t.Fatal("single-bundle merge is not byte-identical")
+	}
+}
+
+func TestMergeModelBundlesRejectsMismatchedSwitchSets(t *testing.T) {
+	_, a := trainedBundle(t, 5)
+	da, err := decodeBundle(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller := reencode(t, &modelBundle{Switches: da.Switches[:1], Models: da.Models[:1]})
+	if _, err := MergeModelBundles([][]byte{a, smaller}); err == nil {
+		t.Fatal("merged bundles with different switch sets")
+	}
+	if _, err := MergeModelBundles(nil); err == nil {
+		t.Fatal("merged zero bundles")
+	}
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Checkpoint layout: the directory holds one round-stamped model bundle
+// (fleet-NNNNNN.bundle) plus manifest.json describing it. Writes are
+// crash-safe by ordering: (1) the new bundle lands under a fresh name via
+// write-to-temp + rename, (2) the manifest is atomically swapped to point
+// at it, (3) superseded bundles are garbage-collected. Interruption at any
+// point leaves a manifest whose referenced bundle exists and whose SHA-256
+// still matches, so LoadCheckpoint either returns a consistent (manifest,
+// bundle) pair or a hard error — never silently-corrupt weights.
+
+const (
+	manifestVersion = 1
+	manifestName    = "manifest.json"
+	bundlePrefix    = "fleet-"
+	bundleSuffix    = ".bundle"
+)
+
+// Manifest is the JSON checkpoint descriptor.
+type Manifest struct {
+	Version   int       `json:"version"`
+	Round     int       `json:"round"`   // completed merge rounds
+	Workers   int       `json:"workers"` // worker count that produced it
+	Seed      int64     `json:"seed"`    // scenario root seed
+	EpisodePs int64     `json:"episode_ps"`
+	Bundle    string    `json:"bundle"` // bundle filename within the directory
+	SHA256    string    `json:"sha256"` // hex digest of the bundle bytes
+	CumReward float64   `json:"cum_reward"`
+	Rewards   []float64 `json:"rewards"` // per-round mean rewards
+}
+
+// ErrNoCheckpoint reports that the checkpoint directory holds no manifest.
+var ErrNoCheckpoint = errors.New("fleet: no checkpoint manifest")
+
+// atomicWrite writes data next to path and renames it into place, so
+// readers never observe a partially-written file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func bundleName(round int) string {
+	return fmt.Sprintf("%s%06d%s", bundlePrefix, round, bundleSuffix)
+}
+
+// SaveCheckpoint atomically persists a round's merged models and manifest.
+// The Bundle and SHA256 manifest fields are filled in here.
+func SaveCheckpoint(dir string, m Manifest, models []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m.Bundle = bundleName(m.Round)
+	sum := sha256.Sum256(models)
+	m.SHA256 = hex.EncodeToString(sum[:])
+
+	if err := atomicWrite(filepath.Join(dir, m.Bundle), models); err != nil {
+		return fmt.Errorf("fleet: writing bundle: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(filepath.Join(dir, manifestName), append(data, '\n')); err != nil {
+		return fmt.Errorf("fleet: writing manifest: %w", err)
+	}
+	gcBundles(dir, m.Bundle)
+	return nil
+}
+
+// gcBundles removes superseded bundle files and stray temp files. Failures
+// are ignored: stale files cost disk, never correctness.
+func gcBundles(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := strings.HasSuffix(name, ".tmp") ||
+			(strings.HasPrefix(name, bundlePrefix) && strings.HasSuffix(name, bundleSuffix) && name != keep)
+		if stale {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// LoadCheckpoint reads the manifest and its model bundle, verifying the
+// checksum. Returns ErrNoCheckpoint when the directory has no manifest.
+func LoadCheckpoint(dir string) (Manifest, []byte, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, nil, ErrNoCheckpoint
+	}
+	if err != nil {
+		return m, nil, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, nil, fmt.Errorf("fleet: parsing manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return m, nil, fmt.Errorf("fleet: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Bundle == "" || m.Bundle != filepath.Base(m.Bundle) {
+		return m, nil, fmt.Errorf("fleet: manifest references invalid bundle name %q", m.Bundle)
+	}
+	models, err := os.ReadFile(filepath.Join(dir, m.Bundle))
+	if err != nil {
+		return m, nil, fmt.Errorf("fleet: reading bundle %s: %w", m.Bundle, err)
+	}
+	sum := sha256.Sum256(models)
+	if got := hex.EncodeToString(sum[:]); got != m.SHA256 {
+		return m, nil, fmt.Errorf("fleet: bundle %s checksum %s does not match manifest %s (corrupted checkpoint)",
+			m.Bundle, got, m.SHA256)
+	}
+	return m, models, nil
+}

@@ -1,0 +1,240 @@
+// Package fleet parallelizes PET's offline pre-training phase (Sec. 4.4.1)
+// across a pool of rollout workers — the synchronous parameter-server loop
+// RL-for-networking systems use to make policy training tractable.
+//
+// Architecture:
+//
+//   - Each worker owns its own simulation end to end (sim.Engine, network,
+//     transport, workload generator, PET controller), so the determinism of
+//     one episode depends only on its (scenario, seed) pair, never on
+//     goroutine scheduling.
+//   - Training proceeds in synchronized rounds. Every round the coordinator
+//     broadcasts the current global model bundle, each worker runs one
+//     independently-seeded training episode from that base, and the
+//     resulting per-worker bundles are folded back together by element-wise
+//     weight averaging (core.MergeModelBundles). Averaging the workers'
+//     weights equals averaging their deltas around the shared base, so the
+//     merge is a plain mean with no delta bookkeeping.
+//   - Episode seeds derive from the scenario seed via splittable streams;
+//     episode (round 0, worker 0) reuses the scenario seed itself, so a
+//     one-worker, one-round fleet reproduces the sequential PretrainPET
+//     byte for byte.
+//
+// Long runs survive interruption through atomic checkpoints: after a merge
+// the bundle is written to a round-stamped file (write-to-temp + rename)
+// and then a JSON manifest — round number, seeds, cumulative reward, bundle
+// checksum — is atomically swapped in. A crash between the two writes
+// leaves the previous manifest pointing at the previous, still-present
+// bundle, so resume always finds a consistent pair.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pet/internal/bench"
+	"pet/internal/core"
+	"pet/internal/rng"
+	"pet/internal/sim"
+)
+
+// Config parameterizes a pre-training fleet.
+type Config struct {
+	Workers int      // parallel rollout workers (0 = runtime.NumCPU())
+	Rounds  int      // synchronized merge rounds (0 = 1)
+	Episode sim.Time // simulated training time per episode (required)
+
+	Checkpoint      string // checkpoint directory; "" disables checkpointing
+	CheckpointEvery int    // write a checkpoint every k rounds (0 = 1)
+	Resume          bool   // continue from Checkpoint's manifest when present
+
+	// OnRound, when non-nil, observes each completed merge round from the
+	// coordinator goroutine.
+	OnRound func(RoundStats)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers < 0 {
+		return c, fmt.Errorf("fleet: negative worker count %d", c.Workers)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Rounds < 0 {
+		return c, fmt.Errorf("fleet: negative round count %d", c.Rounds)
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 1
+	}
+	if c.Episode <= 0 {
+		return c, fmt.Errorf("fleet: episode duration %v must be positive", c.Episode)
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.Resume && c.Checkpoint == "" {
+		return c, fmt.Errorf("fleet: Resume requires a Checkpoint directory")
+	}
+	return c, nil
+}
+
+// RoundStats summarizes one completed merge round.
+type RoundStats struct {
+	Round      int     // 0-based round index
+	Episodes   int     // episodes folded into this round's merge
+	MeanReward float64 // mean per-slot reward across the round's episodes
+	Updates    int     // IPPO updates completed across the round's episodes
+}
+
+// Result summarizes a completed pre-training run.
+type Result struct {
+	Models      []byte  // final merged model bundle
+	Rounds      int     // total completed rounds, including restored ones
+	ResumedFrom int     // rounds restored from checkpoint (0 = fresh start)
+	CumReward   float64 // sum of per-round mean rewards over all rounds
+}
+
+// job is one episode assignment broadcast to a worker.
+type job struct {
+	round, worker int
+	seed          int64
+	models        []byte
+}
+
+// episodeOut is one worker's result for a round.
+type episodeOut struct {
+	worker int
+	stats  bench.EpisodeStats
+	err    error
+}
+
+// episodeSeed derives the deterministic seed for (round, worker). The very
+// first episode reuses the scenario seed so Workers=1, Rounds=1 reproduces
+// the sequential pre-training exactly.
+func episodeSeed(root *rng.Stream, scenarioSeed int64, round, worker int) int64 {
+	if round == 0 && worker == 0 {
+		return scenarioSeed
+	}
+	return root.SplitN("fleet-round", round).SplitN("worker", worker).Seed()
+}
+
+// Pretrain runs the fleet: Rounds synchronized rounds of Workers parallel
+// episodes each, returning the final merged model bundle (loadable via
+// Scenario.Models). The scenario is normalized exactly as PretrainPET
+// normalizes it; Workers=1, Rounds=1 is bit-identical to PretrainPET.
+func Pretrain(s bench.Scenario, cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	var rewards []float64 // per-round mean rewards, for the manifest
+
+	// Resume, or initialize the global model as the common broadcast base.
+	var global []byte
+	if cfg.Resume {
+		m, models, err := LoadCheckpoint(cfg.Checkpoint)
+		switch {
+		case errors.Is(err, ErrNoCheckpoint):
+			// Nothing to resume; fall through to a fresh start.
+		case err != nil:
+			return Result{}, err
+		default:
+			if m.Seed != s.Seed {
+				return Result{}, fmt.Errorf("fleet: checkpoint seed %d does not match scenario seed %d", m.Seed, s.Seed)
+			}
+			if m.EpisodePs != int64(cfg.Episode) {
+				return Result{}, fmt.Errorf("fleet: checkpoint episode %v does not match configured %v",
+					sim.Time(m.EpisodePs), cfg.Episode)
+			}
+			global = models
+			rewards = append(rewards, m.Rewards...)
+			res.ResumedFrom = m.Round
+			res.CumReward = m.CumReward
+			res.Rounds = m.Round
+			if m.Round >= cfg.Rounds {
+				res.Models = models
+				return res, nil // requested rounds already completed
+			}
+		}
+	}
+	if global == nil {
+		if global, err = bench.PretrainInit(s); err != nil {
+			return Result{}, fmt.Errorf("fleet: building initial models: %w", err)
+		}
+	}
+
+	// Long-lived worker pool: each goroutine runs episodes it receives over
+	// the jobs channel, fully owning its environment for the duration of
+	// each episode, and reports bundles back over the results channel.
+	jobs := make(chan job)
+	results := make(chan episodeOut, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				st, err := bench.PretrainEpisode(s, cfg.Episode, j.seed, j.models)
+				results <- episodeOut{worker: j.worker, stats: st, err: err}
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	root := rng.New(s.Seed)
+	for r := res.ResumedFrom; r < cfg.Rounds; r++ {
+		for w := 0; w < cfg.Workers; w++ {
+			jobs <- job{round: r, worker: w, seed: episodeSeed(root, s.Seed, r, w), models: global}
+		}
+		bundles := make([][]byte, cfg.Workers)
+		roundReward := 0.0
+		updates := 0
+		for i := 0; i < cfg.Workers; i++ {
+			out := <-results
+			if out.err != nil {
+				return Result{}, fmt.Errorf("fleet: round %d worker %d: %w", r, out.worker, out.err)
+			}
+			// Index by worker, not arrival order, so the merge is
+			// deterministic under any goroutine scheduling.
+			bundles[out.worker] = out.stats.Models
+			roundReward += out.stats.MeanReward
+			updates += out.stats.Updates
+		}
+		merged, err := core.MergeModelBundles(bundles)
+		if err != nil {
+			return Result{}, fmt.Errorf("fleet: round %d merge: %w", r, err)
+		}
+		global = merged
+		mean := roundReward / float64(cfg.Workers)
+		rewards = append(rewards, mean)
+		res.CumReward += mean
+		res.Rounds = r + 1
+
+		if cfg.Checkpoint != "" && ((r+1)%cfg.CheckpointEvery == 0 || r == cfg.Rounds-1) {
+			m := Manifest{
+				Version:   manifestVersion,
+				Round:     r + 1,
+				Workers:   cfg.Workers,
+				Seed:      s.Seed,
+				EpisodePs: int64(cfg.Episode),
+				CumReward: res.CumReward,
+				Rewards:   rewards,
+			}
+			if err := SaveCheckpoint(cfg.Checkpoint, m, global); err != nil {
+				return Result{}, fmt.Errorf("fleet: round %d checkpoint: %w", r, err)
+			}
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(RoundStats{Round: r, Episodes: cfg.Workers, MeanReward: mean, Updates: updates})
+		}
+	}
+	res.Models = global
+	return res, nil
+}

@@ -1,0 +1,264 @@
+package fleet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pet/internal/bench"
+	"pet/internal/sim"
+)
+
+// trainEpisode is long enough for each agent to complete at least one IPPO
+// update (UpdateEvery=64 intervals of 100µs), so weights genuinely move and
+// byte-comparisons exercise trained models rather than untouched inits.
+const trainEpisode = 8 * sim.Millisecond
+
+func testScenario(seed int64) bench.Scenario {
+	return bench.Scenario{Seed: seed, Load: 0.4, IncastFraction: 0.2, IncastFanIn: 3}
+}
+
+func TestWorkersOneRoundOneMatchesSequential(t *testing.T) {
+	s := testScenario(1)
+	sequential := bench.PretrainPET(s, trainEpisode)
+	res, err := Pretrain(s, Config{Workers: 1, Rounds: 1, Episode: trainEpisode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Models, sequential) {
+		t.Fatal("Workers=1, Rounds=1 fleet bundle differs from sequential PretrainPET")
+	}
+	if res.Rounds != 1 || res.ResumedFrom != 0 {
+		t.Fatalf("Rounds=%d ResumedFrom=%d", res.Rounds, res.ResumedFrom)
+	}
+}
+
+func TestFleetDeterministicAcrossRuns(t *testing.T) {
+	s := testScenario(2)
+	cfg := Config{Workers: 2, Rounds: 2, Episode: 2 * sim.Millisecond}
+	a, err := Pretrain(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pretrain(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Models, b.Models) {
+		t.Fatal("same (scenario, config) produced different bundles")
+	}
+	if a.CumReward != b.CumReward {
+		t.Fatalf("cumulative rewards differ: %v vs %v", a.CumReward, b.CumReward)
+	}
+}
+
+func TestFleetTrainsAndMerges(t *testing.T) {
+	s := testScenario(3)
+	init, err := bench.PretrainInit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []RoundStats
+	res, err := Pretrain(s, Config{
+		Workers: 2, Rounds: 1, Episode: trainEpisode,
+		OnRound: func(r RoundStats) { rounds = append(rounds, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(res.Models, init) {
+		t.Fatal("training moved no weights")
+	}
+	if len(rounds) != 1 || rounds[0].Episodes != 2 {
+		t.Fatalf("round stats = %+v", rounds)
+	}
+	if rounds[0].Updates == 0 {
+		t.Fatal("no IPPO updates in a full-length episode")
+	}
+	if rounds[0].MeanReward <= 0 {
+		t.Fatalf("mean reward = %v", rounds[0].MeanReward)
+	}
+	// The merged bundle must deploy: run a short online scenario from it.
+	online := testScenario(3)
+	online.Scheme = bench.SchemePET
+	online.Models = res.Models
+	online.Warmup = 2 * sim.Millisecond
+	online.Duration = 4 * sim.Millisecond
+	if out := bench.Run(online); out.FlowsDone == 0 {
+		t.Fatal("no flows completed under the merged pretrained models")
+	}
+}
+
+func TestCheckpointResumeMatchesStraightRun(t *testing.T) {
+	s := testScenario(4)
+	episode := 2 * sim.Millisecond
+
+	straight, err := Pretrain(s, Config{Workers: 2, Rounds: 3, Episode: episode})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the first two rounds, "die", then resume to round 3.
+	dir := t.TempDir()
+	if _, err := Pretrain(s, Config{Workers: 2, Rounds: 2, Episode: episode, Checkpoint: dir}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Pretrain(s, Config{Workers: 2, Rounds: 3, Episode: episode, Checkpoint: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedFrom != 2 {
+		t.Fatalf("ResumedFrom = %d, want 2", res.ResumedFrom)
+	}
+	if !bytes.Equal(res.Models, straight.Models) {
+		t.Fatal("resumed run diverged from the uninterrupted run")
+	}
+	m, models, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Round != 3 || len(m.Rewards) != 3 {
+		t.Fatalf("final manifest round=%d rewards=%d", m.Round, len(m.Rewards))
+	}
+	if !bytes.Equal(models, res.Models) {
+		t.Fatal("checkpointed bundle differs from returned bundle")
+	}
+}
+
+func TestResumeIgnoresTornCheckpointWrite(t *testing.T) {
+	s := testScenario(5)
+	episode := 2 * sim.Millisecond
+	dir := t.TempDir()
+	if _, err := Pretrain(s, Config{Workers: 1, Rounds: 1, Episode: episode, Checkpoint: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-checkpoint: a half-written temp file and an
+	// orphan bundle the manifest never came to reference.
+	for _, stray := range []string{"fleet-000002.bundle.tmp", "fleet-000099.bundle", "manifest.json.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, stray), []byte("torn write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Pretrain(s, Config{Workers: 1, Rounds: 2, Episode: episode, Checkpoint: dir, Resume: true})
+	if err != nil {
+		t.Fatalf("resume after torn checkpoint: %v", err)
+	}
+	if res.ResumedFrom != 1 || res.Rounds != 2 {
+		t.Fatalf("ResumedFrom=%d Rounds=%d", res.ResumedFrom, res.Rounds)
+	}
+	straight, err := Pretrain(s, Config{Workers: 1, Rounds: 2, Episode: episode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Models, straight.Models) {
+		t.Fatal("torn-checkpoint resume diverged from the uninterrupted run")
+	}
+	// The next successful checkpoint garbage-collects the debris.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") || e.Name() == "fleet-000099.bundle" {
+			t.Fatalf("stray checkpoint file survived: %s", e.Name())
+		}
+	}
+}
+
+func TestResumeRejectsCorruptedBundle(t *testing.T) {
+	s := testScenario(6)
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, Rounds: 1, Episode: 2 * sim.Millisecond, Checkpoint: dir}
+	if _, err := Pretrain(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the referenced bundle: resume must fail loudly, not train
+	// from garbage.
+	path := filepath.Join(dir, m.Bundle)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rounds, cfg.Resume = 2, true
+	if _, err := Pretrain(s, cfg); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted bundle resumed: err = %v", err)
+	}
+	// A corrupted manifest must also fail loudly.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pretrain(s, cfg); err == nil {
+		t.Fatal("corrupted manifest resumed")
+	}
+}
+
+func TestResumeRejectsMismatchedRun(t *testing.T) {
+	s := testScenario(7)
+	dir := t.TempDir()
+	if _, err := Pretrain(s, Config{Workers: 1, Rounds: 1, Episode: 2 * sim.Millisecond, Checkpoint: dir}); err != nil {
+		t.Fatal(err)
+	}
+	other := testScenario(8) // different seed
+	_, err := Pretrain(other, Config{Workers: 1, Rounds: 2, Episode: 2 * sim.Millisecond, Checkpoint: dir, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("seed mismatch resumed: err = %v", err)
+	}
+	_, err = Pretrain(s, Config{Workers: 1, Rounds: 2, Episode: 3 * sim.Millisecond, Checkpoint: dir, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "episode") {
+		t.Fatalf("episode mismatch resumed: err = %v", err)
+	}
+}
+
+func TestResumeWithoutCheckpointStartsFresh(t *testing.T) {
+	s := testScenario(9)
+	res, err := Pretrain(s, Config{
+		Workers: 1, Rounds: 1, Episode: 2 * sim.Millisecond,
+		Checkpoint: t.TempDir(), Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedFrom != 0 || res.Rounds != 1 {
+		t.Fatalf("ResumedFrom=%d Rounds=%d", res.ResumedFrom, res.Rounds)
+	}
+}
+
+func TestResumePastRequestedRoundsReturnsCheckpoint(t *testing.T) {
+	s := testScenario(10)
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, Rounds: 2, Episode: 2 * sim.Millisecond, Checkpoint: dir}
+	full, err := Pretrain(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rounds, cfg.Resume = 1, true // already past round 1
+	res, err := Pretrain(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 || !bytes.Equal(res.Models, full.Models) {
+		t.Fatalf("short resume reran rounds: Rounds=%d", res.Rounds)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := testScenario(11)
+	if _, err := Pretrain(s, Config{Workers: 1, Rounds: 1}); err == nil {
+		t.Fatal("zero episode duration accepted")
+	}
+	if _, err := Pretrain(s, Config{Workers: -1, Rounds: 1, Episode: sim.Millisecond}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := Pretrain(s, Config{Workers: 1, Rounds: -1, Episode: sim.Millisecond}); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+	if _, err := Pretrain(s, Config{Workers: 1, Rounds: 1, Episode: sim.Millisecond, Resume: true}); err == nil {
+		t.Fatal("Resume without Checkpoint accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package ppo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// This file holds the weight export/merge helpers behind synchronized
+// parameter-server training (internal/fleet): workers train independent
+// copies of an agent from a common broadcast base, and the server folds the
+// results back together by averaging weights. Averaging weights is exactly
+// averaging per-worker deltas around the shared base — base + mean(wᵢ −
+// base) = mean(wᵢ) — so no delta bookkeeping is needed on the wire.
+
+// archMismatch reports how two snapshots' architectures differ, or "" when
+// they match.
+func archMismatch(a, b *snapshot) string {
+	if a.ObsDim != b.ObsDim {
+		return fmt.Sprintf("ObsDim %d vs %d", a.ObsDim, b.ObsDim)
+	}
+	if !intsEqual(a.Heads, b.Heads) {
+		return fmt.Sprintf("Heads %v vs %v", a.Heads, b.Heads)
+	}
+	if !intsEqual(a.Hidden, b.Hidden) {
+		return fmt.Sprintf("Hidden %v vs %v", a.Hidden, b.Hidden)
+	}
+	if len(a.Trunk) != len(b.Trunk) {
+		return fmt.Sprintf("trunk size %d vs %d", len(a.Trunk), len(b.Trunk))
+	}
+	if len(a.Critic) != len(b.Critic) {
+		return fmt.Sprintf("critic size %d vs %d", len(a.Critic), len(b.Critic))
+	}
+	if len(a.HeadPs) != len(b.HeadPs) {
+		return fmt.Sprintf("head count %d vs %d", len(a.HeadPs), len(b.HeadPs))
+	}
+	for i := range a.HeadPs {
+		if len(a.HeadPs[i]) != len(b.HeadPs[i]) {
+			return fmt.Sprintf("head %d size %d vs %d", i, len(a.HeadPs[i]), len(b.HeadPs[i]))
+		}
+	}
+	return ""
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeSnapshots averages agent weights saved by Encode: every policy
+// trunk, head and critic parameter is the element-wise mean across the
+// inputs. All snapshots must share one architecture. A single snapshot is
+// returned byte-for-byte unchanged, so a one-worker merge is the identity.
+func MergeSnapshots(snaps [][]byte) ([]byte, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("ppo: merging zero snapshots")
+	}
+	if len(snaps) == 1 {
+		return append([]byte(nil), snaps[0]...), nil
+	}
+	acc := new(snapshot)
+	if err := gob.NewDecoder(bytes.NewReader(snaps[0])).Decode(acc); err != nil {
+		return nil, fmt.Errorf("ppo: decoding snapshot 0: %w", err)
+	}
+	for i, data := range snaps[1:] {
+		s := new(snapshot)
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(s); err != nil {
+			return nil, fmt.Errorf("ppo: decoding snapshot %d: %w", i+1, err)
+		}
+		if d := archMismatch(acc, s); d != "" {
+			return nil, fmt.Errorf("ppo: snapshot %d architecture mismatch: %s", i+1, d)
+		}
+		axpyAll(acc.Trunk, s.Trunk)
+		axpyAll(acc.Critic, s.Critic)
+		for h := range acc.HeadPs {
+			axpyAll(acc.HeadPs[h], s.HeadPs[h])
+		}
+	}
+	inv := 1 / float64(len(snaps))
+	scaleAll(acc.Trunk, inv)
+	scaleAll(acc.Critic, inv)
+	for h := range acc.HeadPs {
+		scaleAll(acc.HeadPs[h], inv)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(acc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func axpyAll(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+func scaleAll(v []float64, k float64) {
+	for i := range v {
+		v[i] *= k
+	}
+}

@@ -1,0 +1,131 @@
+package ppo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+func testAgent(t *testing.T, seed int64) *Agent {
+	t.Helper()
+	return New(Config{ObsDim: 6, Heads: []int{4, 5}, Hidden: []int{8}}, seed)
+}
+
+func decodeSnap(t *testing.T, data []byte) *snapshot {
+	t.Helper()
+	s := new(snapshot)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(s); err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	return s
+}
+
+func TestMergeSnapshotsAveragesWeights(t *testing.T) {
+	a, b := testAgent(t, 1), testAgent(t, 2)
+	sa, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSnapshots([][]byte{sa, sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db, dm := decodeSnap(t, sa), decodeSnap(t, sb), decodeSnap(t, merged)
+	for i := range dm.Trunk {
+		want := (da.Trunk[i] + db.Trunk[i]) / 2
+		if math.Abs(dm.Trunk[i]-want) > 1e-15 {
+			t.Fatalf("trunk[%d] = %v, want %v", i, dm.Trunk[i], want)
+		}
+	}
+	for h := range dm.HeadPs {
+		for i := range dm.HeadPs[h] {
+			want := (da.HeadPs[h][i] + db.HeadPs[h][i]) / 2
+			if math.Abs(dm.HeadPs[h][i]-want) > 1e-15 {
+				t.Fatalf("head %d [%d] = %v, want %v", h, i, dm.HeadPs[h][i], want)
+			}
+		}
+	}
+	for i := range dm.Critic {
+		want := (da.Critic[i] + db.Critic[i]) / 2
+		if math.Abs(dm.Critic[i]-want) > 1e-15 {
+			t.Fatalf("critic[%d] = %v, want %v", i, dm.Critic[i], want)
+		}
+	}
+	// The merged snapshot must load back into a same-architecture agent.
+	if err := testAgent(t, 3).RestoreFrom(merged); err != nil {
+		t.Fatalf("restoring merged snapshot: %v", err)
+	}
+}
+
+func TestMergeSnapshotsSingleIsIdentity(t *testing.T) {
+	sa, err := testAgent(t, 7).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSnapshots([][]byte{sa})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, sa) {
+		t.Fatal("single-snapshot merge is not byte-identical")
+	}
+}
+
+func TestMergeSnapshotsArchMismatch(t *testing.T) {
+	sa, _ := testAgent(t, 1).Encode()
+	sb, _ := New(Config{ObsDim: 6, Heads: []int{4, 6}, Hidden: []int{8}}, 2).Encode()
+	if _, err := MergeSnapshots([][]byte{sa, sb}); err == nil {
+		t.Fatal("merged snapshots with different head sizes")
+	}
+	if _, err := MergeSnapshots(nil); err == nil {
+		t.Fatal("merged zero snapshots")
+	}
+	if _, err := MergeSnapshots([][]byte{sa, sa[:len(sa)/2]}); err == nil {
+		t.Fatal("merged a truncated snapshot")
+	}
+}
+
+func TestRestoreFromRejectsWithoutMutation(t *testing.T) {
+	a := testAgent(t, 1)
+	before, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot from a different architecture, plus raw garbage: both must
+	// be rejected before any weight is written.
+	other, _ := New(Config{ObsDim: 9, Heads: []int{4, 5}, Hidden: []int{8}}, 2).Encode()
+	for name, bad := range map[string][]byte{
+		"arch-mismatch": other,
+		"garbage":       {0xde, 0xad, 0xbe, 0xef},
+		"truncated":     before[:len(before)/3],
+	} {
+		if err := a.RestoreFrom(bad); err == nil {
+			t.Fatalf("%s: RestoreFrom accepted a bad snapshot", name)
+		}
+		after, err := a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatalf("%s: failed restore mutated agent weights", name)
+		}
+	}
+}
+
+func TestValidateSnapshotDoesNotMutate(t *testing.T) {
+	a := testAgent(t, 1)
+	good, _ := testAgent(t, 2).Encode()
+	before, _ := a.Encode()
+	if err := a.ValidateSnapshot(good); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	after, _ := a.Encode()
+	if !bytes.Equal(before, after) {
+		t.Fatal("ValidateSnapshot mutated weights")
+	}
+}

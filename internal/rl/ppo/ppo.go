@@ -7,6 +7,7 @@ package ppo
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"math"
 
 	"pet/internal/mat"
@@ -356,11 +357,65 @@ func (a *Agent) Encode() ([]byte, error) {
 	return buf.Bytes(), err
 }
 
+// validateSnapshot checks a decoded snapshot against this agent's
+// architecture and parameter shapes without mutating anything, so restores
+// can be all-or-nothing.
+func (a *Agent) validateSnapshot(s *snapshot) error {
+	if s.ObsDim != a.cfg.ObsDim {
+		return fmt.Errorf("ppo: snapshot ObsDim %d, agent has %d", s.ObsDim, a.cfg.ObsDim)
+	}
+	if !intsEqual(s.Heads, a.cfg.Heads) {
+		return fmt.Errorf("ppo: snapshot Heads %v, agent has %v", s.Heads, a.cfg.Heads)
+	}
+	if !intsEqual(s.Hidden, a.cfg.Hidden) {
+		return fmt.Errorf("ppo: snapshot Hidden %v, agent has %v", s.Hidden, a.cfg.Hidden)
+	}
+	if got, want := len(s.Trunk), paramCount(a.trunk.Params()); got != want {
+		return fmt.Errorf("ppo: snapshot trunk has %d params, agent has %d", got, want)
+	}
+	if got, want := len(s.Critic), paramCount(a.critic.Params()); got != want {
+		return fmt.Errorf("ppo: snapshot critic has %d params, agent has %d", got, want)
+	}
+	if len(s.HeadPs) != len(a.heads) {
+		return fmt.Errorf("ppo: snapshot has %d heads, agent has %d", len(s.HeadPs), len(a.heads))
+	}
+	for i, h := range a.heads {
+		if got, want := len(s.HeadPs[i]), paramCount(h.Params()); got != want {
+			return fmt.Errorf("ppo: snapshot head %d has %d params, agent has %d", i, got, want)
+		}
+	}
+	return nil
+}
+
+func paramCount(groups [][]float64) int {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	return n
+}
+
+// ValidateSnapshot reports whether data is a well-formed snapshot loadable
+// into this agent, without touching any weights. Callers restoring many
+// agents at once validate every snapshot first so a corrupted bundle cannot
+// leave some agents restored and others not.
+func (a *Agent) ValidateSnapshot(data []byte) error {
+	var s snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return fmt.Errorf("ppo: decoding snapshot: %w", err)
+	}
+	return a.validateSnapshot(&s)
+}
+
 // RestoreFrom loads weights saved by Encode into this agent. Architectures
-// must match.
+// must match. The snapshot is fully validated before the first weight is
+// written, so a failed restore leaves the agent unchanged.
 func (a *Agent) RestoreFrom(data []byte) error {
 	var s snapshot
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return fmt.Errorf("ppo: decoding snapshot: %w", err)
+	}
+	if err := a.validateSnapshot(&s); err != nil {
 		return err
 	}
 	if err := a.trunk.Restore(s.Trunk); err != nil {

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/csv"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -60,6 +62,41 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], "link_change,,4,,false") {
 		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVRoundTripEscaping(t *testing.T) {
+	// Values containing the CSV metacharacters — commas, quotes, newlines —
+	// must survive a write/parse round trip byte-for-byte, in order.
+	r := NewRecorder(0)
+	nasty := []string{`a,b`, `say "hi"`, "line1\nline2", `both, "quoted"` + "\nand newline", ``}
+	for i, v := range nasty {
+		r.Record(sim.Time(i)*sim.Microsecond, Custom, F("i", i), F("payload", v))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not re-parse: %v", err)
+	}
+	if len(rows) != len(nasty)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(nasty)+1)
+	}
+	header := rows[0]
+	col := map[string]int{}
+	for i, k := range header {
+		col[k] = i
+	}
+	for i, v := range nasty {
+		row := rows[1+i]
+		if got := row[col["i"]]; got != strconv.Itoa(i) {
+			t.Fatalf("row %d out of order: i = %q", i, got)
+		}
+		if got := row[col["payload"]]; got != v {
+			t.Fatalf("row %d payload = %q, want %q", i, got, v)
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"pet/internal/core"
 	"pet/internal/dcqcn"
 	"pet/internal/dctcp"
+	"pet/internal/fleet"
 	"pet/internal/netsim"
 	"pet/internal/sim"
 	"pet/internal/stats"
@@ -232,6 +233,27 @@ func NewRunner() *Runner { return bench.NewRunner() }
 // PretrainPET runs the offline training phase and returns a model bundle
 // loadable via Scenario.Models.
 func PretrainPET(s Scenario, dur Time) []byte { return bench.PretrainPET(s, dur) }
+
+// Parallel pre-training fleet (internal/fleet).
+type (
+	// FleetConfig parameterizes PretrainFleet: worker count, merge rounds,
+	// checkpoint directory and resume behaviour.
+	FleetConfig = fleet.Config
+	// FleetResult summarizes a completed fleet run.
+	FleetResult = fleet.Result
+	// FleetRound summarizes one synchronized merge round (FleetConfig.OnRound).
+	FleetRound = fleet.RoundStats
+)
+
+// PretrainFleet runs the offline training phase on a pool of parallel
+// rollout workers: each round, every worker simulates one
+// independently-seeded episode of dur from the current global models, and
+// the per-worker weights are merged by averaging. With Workers=1 and
+// Rounds=1 the result is bit-identical to PretrainPET(s, dur).
+func PretrainFleet(s Scenario, dur Time, cfg FleetConfig) (FleetResult, error) {
+	cfg.Episode = dur
+	return fleet.Pretrain(s, cfg)
+}
 
 // Statistics.
 type (
