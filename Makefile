@@ -1,7 +1,7 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,10 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Smoke tier: run every benchmark exactly once (no timing loop) so CI
+# catches benchmarks that no longer compile or crash, in seconds.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 ci: build vet test race

@@ -7,6 +7,7 @@
 //	pettrain -workload websearch -duration 200ms -out pet.model
 //	pettrain -workers 8 -rounds 20 -checkpoint ckpt/ -out pet.model
 //	pettrain -workers 8 -rounds 40 -checkpoint ckpt/ -resume -out pet.model
+//	pettrain -workers 4 -rounds 50 -telemetry :8080 -out pet.model
 //	petsim -scheme PET -models pet.model
 //
 // -duration is the simulated training time of one episode; every round each
@@ -14,7 +15,19 @@
 // simulated training is duration × workers × rounds. With -workers=1
 // -rounds=1 (the default) the bundle is bit-identical to the historical
 // sequential pre-training. -checkpoint makes each round's merged bundle
-// crash-safe on disk; -resume continues an interrupted run from it.
+// crash-safe on disk; -resume continues an interrupted run from it. A
+// resumed run must keep the checkpoint's -workers count (episode seeds
+// derive from it); pass -allow-worker-change to override knowingly.
+//
+// -telemetry addr serves live metrics over HTTP while training: /metrics
+// (Prometheus text format), /snapshot (JSON) and /debug/pprof (CPU/heap
+// profiling). Telemetry is observation-only — the trained bundle is
+// byte-identical with or without it. -tracecsv additionally writes one CSV
+// row of metrics per completed round.
+//
+// Per-round progress and human-readable summaries go to stderr; stdout
+// carries exactly one machine-parsable result line of key=value pairs,
+// so scripts can pipe it without scraping progress text.
 package main
 
 import (
@@ -29,17 +42,20 @@ import (
 
 func main() {
 	var (
-		topoF   = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
-		wlF     = flag.String("workload", "websearch", "websearch | datamining")
-		load    = flag.Float64("load", 0.6, "offered training load")
-		dur     = flag.Duration("duration", 100*time.Millisecond, "simulated training time per episode")
-		seed    = flag.Int64("seed", 1, "root random seed")
-		out     = flag.String("out", "pet.model", "output model bundle path")
-		workers = flag.Int("workers", 1, "parallel rollout workers (0 = all cores)")
-		rounds  = flag.Int("rounds", 1, "synchronized merge rounds")
-		ckpt    = flag.String("checkpoint", "", "checkpoint directory (atomic per-round bundle + manifest)")
-		resume  = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint")
-		quiet   = flag.Bool("q", false, "suppress per-round progress")
+		topoF      = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		wlF        = flag.String("workload", "websearch", "websearch | datamining")
+		load       = flag.Float64("load", 0.6, "offered training load")
+		dur        = flag.Duration("duration", 100*time.Millisecond, "simulated training time per episode")
+		seed       = flag.Int64("seed", 1, "root random seed")
+		out        = flag.String("out", "pet.model", "output model bundle path")
+		workers    = flag.Int("workers", 1, "parallel rollout workers (0 = all cores)")
+		rounds     = flag.Int("rounds", 1, "synchronized merge rounds")
+		ckpt       = flag.String("checkpoint", "", "checkpoint directory (atomic per-round bundle + manifest)")
+		resume     = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint")
+		allowWC    = flag.Bool("allow-worker-change", false, "permit resuming with a different worker count (changes the training trajectory)")
+		telemetryF = flag.String("telemetry", "", "serve live metrics on this address (e.g. :8080): /metrics, /snapshot, /debug/pprof")
+		traceCSV   = flag.String("tracecsv", "", "write per-round telemetry as CSV to this file")
+		quiet      = flag.Bool("q", false, "suppress per-round progress on stderr")
 	)
 	flag.Parse()
 
@@ -71,14 +87,32 @@ func main() {
 		*workers = runtime.NumCPU()
 	}
 	cfg := pet.FleetConfig{
-		Workers:    *workers,
-		Rounds:     *rounds,
-		Checkpoint: *ckpt,
-		Resume:     *resume,
+		Workers:           *workers,
+		Rounds:            *rounds,
+		Checkpoint:        *ckpt,
+		Resume:            *resume,
+		AllowWorkerChange: *allowWC,
+	}
+	if *telemetryF != "" || *traceCSV != "" {
+		cfg.Telemetry = pet.NewTelemetry()
+	}
+	if *telemetryF != "" {
+		srv, err := pet.ServeTelemetry(*telemetryF, cfg.Telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pettrain: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /snapshot, /debug/pprof)\n", srv.Addr)
+	}
+	var rec *pet.TraceRecorder
+	if *traceCSV != "" {
+		rec = pet.NewTraceRecorder(0)
+		cfg.Trace = rec
 	}
 	if !*quiet {
 		cfg.OnRound = func(r pet.FleetRound) {
-			fmt.Printf("round %d/%d: %d episodes, mean reward %.4f, %d PPO updates\n",
+			fmt.Fprintf(os.Stderr, "round %d/%d: %d episodes, mean reward %.4f, %d PPO updates\n",
 				r.Round+1, *rounds, r.Episodes, r.MeanReward, r.Updates)
 		}
 	}
@@ -90,14 +124,30 @@ func main() {
 		os.Exit(1)
 	}
 	if res.ResumedFrom > 0 {
-		fmt.Printf("resumed from checkpoint at round %d\n", res.ResumedFrom)
+		fmt.Fprintf(os.Stderr, "resumed from checkpoint at round %d\n", res.ResumedFrom)
 	}
 	if err := os.WriteFile(*out, res.Models, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
 		os.Exit(1)
 	}
+	if rec != nil {
+		f, err := os.Create(*traceCSV)
+		if err == nil {
+			err = rec.WriteCSV(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pettrain: tracecsv: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	episodes := (res.Rounds - res.ResumedFrom) * cfg.Workers
-	fmt.Printf("trained %s/%s: %d rounds (%d episodes of %v simulated time) in %v wall clock\n",
+	fmt.Fprintf(os.Stderr, "trained %s/%s: %d rounds (%d episodes of %v simulated time) in %v wall clock\n",
 		*topoF, *wlF, res.Rounds, episodes, dur, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("wrote %d bytes to %s\n", len(res.Models), *out)
+	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(res.Models), *out)
+	// The single machine-parsable result line.
+	fmt.Printf("rounds=%d episodes=%d resumed_from=%d cum_reward=%.6f model_bytes=%d out=%s\n",
+		res.Rounds, episodes, res.ResumedFrom, res.CumReward, len(res.Models), *out)
 }

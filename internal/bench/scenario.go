@@ -18,6 +18,7 @@ import (
 	"pet/internal/sim"
 	"pet/internal/staticecn"
 	"pet/internal/stats"
+	"pet/internal/telemetry"
 	"pet/internal/topo"
 	"pet/internal/trace"
 	"pet/internal/workload"
@@ -92,6 +93,13 @@ type Scenario struct {
 	// Trace, when true, records flow lifecycle, ECN reconfigurations and
 	// link-state changes into Env.Trace for CSV export.
 	Trace bool
+
+	// Telemetry, when non-nil, instruments the assembled stack end to end:
+	// netsim (queues, marks, drops, PFC), the DCQCN transport (CNPs, rate
+	// cuts/recoveries) and the PET agents' PPO updates all publish into
+	// this registry. Safe to share across concurrently running envs — the
+	// parallel pre-training fleet does. Observation-only by design.
+	Telemetry *telemetry.Registry
 
 	// Transport selects the end-host stack (default DCQCN). PET requires
 	// no server-side changes, so any ECN-reacting transport plugs in.
@@ -183,7 +191,7 @@ func NewEnv(s Scenario) *Env {
 	s = s.withDefaults()
 	eng := sim.NewEngine()
 	ls := topo.BuildLeafSpine(s.Topo)
-	net := netsim.New(eng, ls.Graph, s.Seed, netsim.Config{BufferPerQueue: 4 << 20})
+	net := netsim.New(eng, ls.Graph, s.Seed, netsim.Config{BufferPerQueue: 4 << 20, Telemetry: s.Telemetry})
 
 	e := &Env{
 		Scenario:  s,
@@ -232,7 +240,7 @@ func NewEnv(s Scenario) *Env {
 	var startFlow func(src, dst topo.NodeID, size int64) netsim.FlowID
 	switch s.Transport {
 	case TransportDCQCN, "":
-		tr := dcqcn.NewTransport(net, dcqcn.Config{})
+		tr := dcqcn.NewTransport(net, dcqcn.Config{Telemetry: s.Telemetry})
 		e.Tr = tr
 		tr.OnFlowComplete(func(f *dcqcn.Flow) {
 			onDone(f.ID, f.Src, f.Dst, f.Size, f.FCT(), f.FinishedAt)
@@ -333,6 +341,7 @@ func (e *Env) petConfig(s Scenario) core.Config {
 		DisableRatioState:  s.Scheme == SchemePETAblated,
 		UpdateEvery:        petTrainKnobs.UpdateEvery,
 		PPO:                petTrainKnobs.PPO,
+		Telemetry:          s.Telemetry,
 	}
 }
 

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+
+	"pet/internal/sim"
+	"pet/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead measures the cost of leaving telemetry compiled
+// into the simulator's hot loops. "off" runs a pre-training episode against
+// a nil registry — the disabled fast path, one nil check per instrumented
+// call site — and "on" against a live registry collecting every series. The
+// two should be within a few percent of each other.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	s := Scenario{Seed: 1, Load: 0.4, IncastFraction: 0.2, IncastFanIn: 3}
+	episode := 2 * sim.Millisecond
+	init, err := PretrainInit(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, s Scenario) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PretrainEpisode(s, episode, s.Seed, init); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, s) })
+	b.Run("on", func(b *testing.B) {
+		s := s
+		s.Telemetry = telemetry.New()
+		run(b, s)
+	})
+}

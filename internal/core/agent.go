@@ -5,6 +5,7 @@ import (
 	"pet/internal/netsim"
 	"pet/internal/rl"
 	"pet/internal/rl/ppo"
+	"pet/internal/telemetry"
 	"pet/internal/topo"
 )
 
@@ -32,6 +33,7 @@ type SwitchAgent struct {
 	updates    int
 	rewardSum  float64
 	lastReward float64
+	reward     *telemetry.Gauge // latest slot reward; nil without telemetry
 }
 
 func newSwitchAgent(sw topo.NodeID, ports []*netsim.Port, cfg Config, seed int64) *SwitchAgent {
@@ -44,7 +46,9 @@ func newSwitchAgent(sw topo.NodeID, ports []*netsim.Port, cfg Config, seed int64
 		ports:  ports,
 		ncm:    NewNCM(ports, cfg),
 		agent:  ppo.New(pcfg, seed),
+		reward: cfg.Telemetry.Gauge("pet_slot_reward"),
 	}
+	a.agent.SetTelemetry(cfg.Telemetry)
 	a.applyAction(cfg.DefaultAction())
 	return a
 }
@@ -155,6 +159,7 @@ func (a *SwitchAgent) observe() (state []float64, reward float64, ok bool) {
 	a.steps++
 	a.rewardSum += reward
 	a.lastReward = reward
+	a.reward.Set(reward)
 	return a.state(), reward, true
 }
 

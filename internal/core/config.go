@@ -18,6 +18,7 @@ import (
 	"pet/internal/rl"
 	"pet/internal/rl/ppo"
 	"pet/internal/sim"
+	"pet/internal/telemetry"
 	"pet/internal/topo"
 )
 
@@ -70,6 +71,11 @@ type Config struct {
 	// OnApply, when set, observes every ECN reconfiguration an agent
 	// installs (for tracing/telemetry).
 	OnApply func(sw topo.NodeID, cfg netsim.ECNConfig)
+
+	// Telemetry, when non-nil, publishes per-update PPO optimization
+	// statistics from every agent (see ppo.Agent.SetTelemetry) plus the
+	// controller's slot-reward gauge. Observation-only.
+	Telemetry *telemetry.Registry
 
 	Seed int64
 }

@@ -11,6 +11,7 @@ package dcqcn
 import (
 	"pet/internal/netsim"
 	"pet/internal/sim"
+	"pet/internal/telemetry"
 	"pet/internal/topo"
 )
 
@@ -33,6 +34,11 @@ type Config struct {
 	MinRateFraction     float64  // rate floor / line rate (default 1/1000)
 
 	RTO sim.Time // go-back-N retransmission timeout (default 1 ms)
+
+	// Telemetry, when non-nil, receives live transport counters: CNPs,
+	// rate cuts and recovery events, retransmits, flow lifecycle and an
+	// FCT histogram. Observation-only.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults(mtu int) Config {
@@ -142,8 +148,36 @@ type Transport struct {
 	flows  map[netsim.FlowID]*Flow
 	nextID netsim.FlowID
 
+	tm transportMetrics
+
 	onComplete []func(*Flow)
 	onData     []func(pkt *netsim.Packet, delay sim.Time)
+}
+
+// transportMetrics are the DCQCN telemetry series; nil handles (registry
+// disabled) make every update a no-op.
+type transportMetrics struct {
+	cnps        *telemetry.Counter
+	rateCuts    *telemetry.Counter
+	rateRaises  *telemetry.Counter
+	retransmits *telemetry.Counter
+	flowsOpened *telemetry.Counter
+	flowsClosed *telemetry.Counter
+	activeFlows *telemetry.Gauge
+	fctUs       *telemetry.Histogram
+}
+
+func newTransportMetrics(reg *telemetry.Registry) transportMetrics {
+	return transportMetrics{
+		cnps:        reg.Counter("dcqcn_cnps_total"),
+		rateCuts:    reg.Counter("dcqcn_rate_cuts_total"),
+		rateRaises:  reg.Counter("dcqcn_rate_increase_events_total"),
+		retransmits: reg.Counter("dcqcn_retransmits_total"),
+		flowsOpened: reg.Counter("dcqcn_flows_started_total"),
+		flowsClosed: reg.Counter("dcqcn_flows_completed_total"),
+		activeFlows: reg.Gauge("dcqcn_active_flows"),
+		fctUs:       reg.Histogram("dcqcn_fct_us", telemetry.ExpBuckets(10, 2, 16)),
+	}
 }
 
 // NewTransport creates a transport and registers itself as the endpoint of
@@ -154,6 +188,7 @@ func NewTransport(net *netsim.Network, cfg Config) *Transport {
 		eng:   net.Engine(),
 		cfg:   cfg.withDefaults(net.Config().MTU),
 		flows: make(map[netsim.FlowID]*Flow),
+		tm:    newTransportMetrics(cfg.Telemetry),
 	}
 	for _, h := range net.Graph().HostIDs() {
 		h := h
@@ -214,6 +249,8 @@ func (t *Transport) StartFlow(src, dst topo.NodeID, size int64, class int) *Flow
 		alpha:    1, // DCQCN initializes α to 1: the first CNP halves the rate
 	}
 	t.flows[f.ID] = f
+	t.tm.flowsOpened.Inc()
+	t.tm.activeFlows.Add(1)
 	t.sendLoop(f)
 	return f
 }
@@ -268,6 +305,7 @@ func (t *Transport) armRTO(f *Flow) {
 		}
 		// Nothing ACKed for a full RTO: go back to the ACK point.
 		f.Retransmits++
+		t.tm.retransmits.Inc()
 		f.txNext = f.una
 		f.bytesSinceCut = 0
 		t.sendLoop(f)
@@ -302,6 +340,7 @@ func (t *Transport) recvData(host topo.NodeID, pkt *netsim.Packet) {
 	if pkt.CE && (f.lastCNPTx == 0 || now-f.lastCNPTx >= t.cfg.CNPInterval) {
 		f.lastCNPTx = now
 		f.cnpsSent++
+		t.tm.cnps.Inc()
 		t.net.SendFromHost(host, &netsim.Packet{
 			Flow: pkt.Flow, Src: host, Dst: pkt.Src, Kind: netsim.CNP, Size: t.cfg.CNPSize,
 		})
@@ -338,6 +377,9 @@ func (t *Transport) recvAck(pkt *netsim.Packet) {
 func (t *Transport) complete(f *Flow) {
 	f.done = true
 	f.FinishedAt = t.eng.Now()
+	t.tm.flowsClosed.Inc()
+	t.tm.activeFlows.Add(-1)
+	t.tm.fctUs.Observe(f.FCT().Microseconds())
 	f.pacing.Cancel()
 	f.rtoHandle.Cancel()
 	if f.alphaTicker != nil {

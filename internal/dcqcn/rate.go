@@ -25,6 +25,7 @@ func (t *Transport) recvCNP(pkt *netsim.Packet) {
 // and resets the increase stage counters.
 func (t *Transport) handleCNP(f *Flow) {
 	now := t.eng.Now()
+	t.tm.rateCuts.Inc()
 	f.rt = f.rc
 	f.rc = f.rc * (1 - f.alpha/2)
 	minRate := f.lineRate * t.cfg.MinRateFraction
@@ -67,6 +68,7 @@ func (t *Transport) increaseEvent(f *Flow, timer bool) {
 	if f.done {
 		return
 	}
+	t.tm.rateRaises.Inc()
 	if timer {
 		f.timerEvents++
 	} else {

@@ -33,11 +33,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"pet/internal/bench"
 	"pet/internal/core"
 	"pet/internal/rng"
 	"pet/internal/sim"
+	"pet/internal/telemetry"
+	"pet/internal/trace"
 )
 
 // Config parameterizes a pre-training fleet.
@@ -49,6 +52,25 @@ type Config struct {
 	Checkpoint      string // checkpoint directory; "" disables checkpointing
 	CheckpointEvery int    // write a checkpoint every k rounds (0 = 1)
 	Resume          bool   // continue from Checkpoint's manifest when present
+
+	// AllowWorkerChange permits resuming a checkpoint written with a
+	// different Workers count. Episode seeds derive from (round, worker),
+	// so changing the worker count changes the training trajectory from
+	// the resume point on; without this override, a mismatch fails loudly
+	// rather than silently forking the run.
+	AllowWorkerChange bool
+
+	// Telemetry, when non-nil, instruments the run end to end: the
+	// coordinator publishes round/merge/checkpoint metrics here, and the
+	// registry is threaded into every worker episode's scenario so netsim,
+	// DCQCN and PPO publish too. Observation-only: the resulting model
+	// bundle is byte-identical with or without it.
+	Telemetry *telemetry.Registry
+
+	// Trace, when non-nil, receives one "telemetry" event per completed
+	// round (timestamped with cumulative simulated training time) for CSV
+	// export — the live-run flight recorder.
+	Trace *trace.Recorder
 
 	// OnRound, when non-nil, observes each completed merge round from the
 	// coordinator goroutine.
@@ -129,6 +151,12 @@ func Pretrain(s bench.Scenario, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	tm := newFleetMetrics(cfg.Telemetry)
+	if cfg.Telemetry != nil {
+		// Thread the registry into every worker episode so all four layers
+		// (netsim, dcqcn, ppo, fleet) publish into one place.
+		s.Telemetry = cfg.Telemetry
+	}
 
 	var res Result
 	var rewards []float64 // per-round mean rewards, for the manifest
@@ -149,6 +177,12 @@ func Pretrain(s bench.Scenario, cfg Config) (Result, error) {
 			if m.EpisodePs != int64(cfg.Episode) {
 				return Result{}, fmt.Errorf("fleet: checkpoint episode %v does not match configured %v",
 					sim.Time(m.EpisodePs), cfg.Episode)
+			}
+			if m.Workers != cfg.Workers && !cfg.AllowWorkerChange {
+				return Result{}, fmt.Errorf("fleet: checkpoint written with %d workers, resuming with %d"+
+					" would change episode seeding and the training trajectory;"+
+					" rerun with Workers=%d or set AllowWorkerChange",
+					m.Workers, cfg.Workers, m.Workers)
 			}
 			global = models
 			rewards = append(rewards, m.Rewards...)
@@ -178,7 +212,10 @@ func Pretrain(s bench.Scenario, cfg Config) (Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				start := time.Now()
 				st, err := bench.PretrainEpisode(s, cfg.Episode, j.seed, j.models)
+				tm.episodeSec.Observe(time.Since(start).Seconds())
+				tm.episodes.Inc()
 				results <- episodeOut{worker: j.worker, stats: st, err: err}
 			}
 		}()
@@ -207,15 +244,23 @@ func Pretrain(s bench.Scenario, cfg Config) (Result, error) {
 			roundReward += out.stats.MeanReward
 			updates += out.stats.Updates
 		}
+		mergeStart := time.Now()
 		merged, err := core.MergeModelBundles(bundles)
 		if err != nil {
 			return Result{}, fmt.Errorf("fleet: round %d merge: %w", r, err)
 		}
+		tm.mergeSec.Observe(time.Since(mergeStart).Seconds())
 		global = merged
 		mean := roundReward / float64(cfg.Workers)
 		rewards = append(rewards, mean)
 		res.CumReward += mean
 		res.Rounds = r + 1
+
+		tm.rounds.Inc()
+		tm.round.Set(float64(r + 1))
+		tm.meanReward.Set(mean)
+		tm.cumReward.Set(res.CumReward)
+		tm.roundReward.Observe(mean)
 
 		if cfg.Checkpoint != "" && ((r+1)%cfg.CheckpointEvery == 0 || r == cfg.Rounds-1) {
 			m := Manifest{
@@ -227,12 +272,17 @@ func Pretrain(s bench.Scenario, cfg Config) (Result, error) {
 				CumReward: res.CumReward,
 				Rewards:   rewards,
 			}
+			ckptStart := time.Now()
 			if err := SaveCheckpoint(cfg.Checkpoint, m, global); err != nil {
 				return Result{}, fmt.Errorf("fleet: round %d checkpoint: %w", r, err)
 			}
+			tm.ckptSec.Observe(time.Since(ckptStart).Seconds())
+			tm.ckptBytes.Set(float64(len(global)))
 		}
+		st := RoundStats{Round: r, Episodes: cfg.Workers, MeanReward: mean, Updates: updates}
+		flushToTrace(cfg.Trace, cfg.Telemetry, r, cfg.Episode, st)
 		if cfg.OnRound != nil {
-			cfg.OnRound(RoundStats{Round: r, Episodes: cfg.Workers, MeanReward: mean, Updates: updates})
+			cfg.OnRound(st)
 		}
 	}
 	res.Models = global

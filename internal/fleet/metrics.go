@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"sort"
+
+	"pet/internal/sim"
+	"pet/internal/telemetry"
+	"pet/internal/trace"
+)
+
+// fleetMetrics are the coordinator-side telemetry series: training progress
+// plus the wall-clock cost of episodes, merges and checkpoints. Durations
+// are real (wall) time — they never feed back into the simulation, so
+// recording them cannot perturb determinism.
+type fleetMetrics struct {
+	rounds      *telemetry.Counter
+	episodes    *telemetry.Counter
+	round       *telemetry.Gauge
+	meanReward  *telemetry.Gauge
+	cumReward   *telemetry.Gauge
+	ckptBytes   *telemetry.Gauge
+	episodeSec  *telemetry.Histogram
+	mergeSec    *telemetry.Histogram
+	ckptSec     *telemetry.Histogram
+	roundReward *telemetry.Histogram // per-round mean-reward distribution
+}
+
+func newFleetMetrics(reg *telemetry.Registry) fleetMetrics {
+	return fleetMetrics{
+		rounds:      reg.Counter("fleet_rounds_total"),
+		episodes:    reg.Counter("fleet_episodes_total"),
+		round:       reg.Gauge("fleet_round"),
+		meanReward:  reg.Gauge("fleet_mean_reward"),
+		cumReward:   reg.Gauge("fleet_cum_reward"),
+		ckptBytes:   reg.Gauge("fleet_checkpoint_bytes"),
+		episodeSec:  reg.Histogram("fleet_episode_seconds", telemetry.ExpBuckets(0.001, 2, 20)),
+		mergeSec:    reg.Histogram("fleet_merge_seconds", telemetry.ExpBuckets(0.0001, 2, 20)),
+		ckptSec:     reg.Histogram("fleet_checkpoint_seconds", telemetry.ExpBuckets(0.0001, 2, 20)),
+		roundReward: reg.Histogram("fleet_round_reward", telemetry.LinearBuckets(0.05, 0.05, 20)),
+	}
+}
+
+// flushToTrace records one completed round's telemetry snapshot as a single
+// trace event, timestamped with the cumulative simulated training time, so
+// a fleet run leaves a per-round CSV time series next to its checkpoints.
+// Histograms flush as their count/mean to keep the row width sane.
+func flushToTrace(rec *trace.Recorder, reg *telemetry.Registry, round int, episode sim.Time, st RoundStats) {
+	if rec == nil {
+		return
+	}
+	at := sim.Time(round+1) * episode
+	fields := []trace.Field{
+		trace.F("round", round),
+		trace.F("mean_reward", st.MeanReward),
+		trace.F("episodes", st.Episodes),
+		trace.F("updates", st.Updates),
+	}
+	if reg != nil {
+		s := reg.Snapshot()
+		names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+		for k := range s.Counters {
+			names = append(names, k)
+		}
+		for k := range s.Gauges {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			if v, ok := s.Counters[k]; ok {
+				fields = append(fields, trace.F(k, v))
+			} else {
+				fields = append(fields, trace.F(k, s.Gauges[k]))
+			}
+		}
+		hnames := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			hnames = append(hnames, k)
+		}
+		sort.Strings(hnames)
+		for _, k := range hnames {
+			h := s.Histograms[k]
+			fields = append(fields,
+				trace.F(k+"_count", h.Count),
+				trace.F(k+"_mean", h.Mean()))
+		}
+	}
+	rec.Record(at, trace.Telemetry, fields...)
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pet/internal/sim"
+	"pet/internal/telemetry"
+	"pet/internal/trace"
+)
+
+// Telemetry is observation-only: a fully instrumented run must produce a
+// bundle byte-identical to an uninstrumented one, while actually collecting
+// metrics from all four layers (netsim, dcqcn, ppo, fleet).
+func TestTelemetryDeterminism(t *testing.T) {
+	s := testScenario(20)
+	cfg := Config{Workers: 2, Rounds: 2, Episode: trainEpisode}
+
+	bare, err := Pretrain(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	rec := trace.NewRecorder(0)
+	cfg.Telemetry = reg
+	cfg.Trace = rec
+	instrumented, err := Pretrain(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(bare.Models, instrumented.Models) {
+		t.Fatal("telemetry perturbed training: bundles differ with telemetry on vs off")
+	}
+	if bare.CumReward != instrumented.CumReward {
+		t.Fatalf("telemetry perturbed rewards: %v vs %v", bare.CumReward, instrumented.CumReward)
+	}
+
+	// Every layer must have published into the shared registry.
+	snap := reg.Snapshot()
+	if got := snap.Counters["fleet_rounds_total"]; got != 2 {
+		t.Errorf("fleet_rounds_total = %d, want 2", got)
+	}
+	if got := snap.Counters["fleet_episodes_total"]; got != 4 {
+		t.Errorf("fleet_episodes_total = %d, want 4", got)
+	}
+	if snap.Counters["netsim_tx_packets_total"] == 0 {
+		t.Error("netsim layer published no tx packets")
+	}
+	if snap.Counters["dcqcn_flows_completed_total"] == 0 {
+		t.Error("dcqcn layer published no completed flows")
+	}
+	if snap.Counters["ppo_updates_total"] == 0 {
+		t.Error("ppo layer published no updates")
+	}
+	if h, ok := snap.Histograms["fleet_episode_seconds"]; !ok || h.Count != 4 {
+		t.Errorf("fleet_episode_seconds count = %d, want 4", h.Count)
+	}
+	if h, ok := snap.Histograms["netsim_queue_depth_bytes"]; !ok || h.Count == 0 {
+		t.Error("no queue-depth observations")
+	}
+	queueSeries := false
+	for name := range snap.Gauges {
+		if strings.HasPrefix(name, "netsim_port_queue_bytes{") {
+			queueSeries = true
+			break
+		}
+	}
+	if !queueSeries {
+		t.Error("no per-port queue gauges registered")
+	}
+
+	// One trace flush per round, carrying the round's headline numbers.
+	rows := rec.Filter(trace.Telemetry)
+	if len(rows) != 2 {
+		t.Fatalf("trace telemetry rows = %d, want 2", len(rows))
+	}
+	var haveRound, haveReward bool
+	for _, f := range rows[1].Fields {
+		switch f.Key {
+		case "round":
+			haveRound = f.Value == "1"
+		case "mean_reward":
+			haveReward = f.Value != ""
+		}
+	}
+	if !haveRound || !haveReward {
+		t.Fatalf("trace row missing round/mean_reward fields: %+v", rows[1].Fields)
+	}
+}
+
+// Resuming with a different worker count changes (round, worker) episode
+// seeding and silently forks the training trajectory — it must fail loudly
+// unless explicitly overridden.
+func TestResumeWorkerMismatch(t *testing.T) {
+	s := testScenario(21)
+	dir := t.TempDir()
+	episode := 2 * sim.Millisecond
+	if _, err := Pretrain(s, Config{Workers: 2, Rounds: 1, Episode: episode, Checkpoint: dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Matching worker count resumes without any override.
+	if _, err := Pretrain(s, Config{Workers: 2, Rounds: 2, Episode: episode, Checkpoint: dir, Resume: true}); err != nil {
+		t.Fatalf("matching worker count refused to resume: %v", err)
+	}
+
+	_, err := Pretrain(s, Config{Workers: 3, Rounds: 3, Episode: episode, Checkpoint: dir, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "workers") {
+		t.Fatalf("worker-count mismatch resumed: err = %v", err)
+	}
+
+	res, err := Pretrain(s, Config{
+		Workers: 3, Rounds: 3, Episode: episode,
+		Checkpoint: dir, Resume: true, AllowWorkerChange: true,
+	})
+	if err != nil {
+		t.Fatalf("AllowWorkerChange override failed: %v", err)
+	}
+	if res.ResumedFrom != 2 || res.Rounds != 3 {
+		t.Fatalf("ResumedFrom=%d Rounds=%d", res.ResumedFrom, res.Rounds)
+	}
+}

@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"fmt"
+
+	"pet/internal/telemetry"
+)
+
+// netMetrics are the network-wide telemetry series. All handles are nil
+// (no-op) when the network runs without a registry, so the per-packet hot
+// paths pay only a nil check.
+type netMetrics struct {
+	enqPackets    *telemetry.Counter
+	txPackets     *telemetry.Counter
+	txBytes       *telemetry.Counter
+	ecnMarks      *telemetry.Counter
+	dropsOverflow *telemetry.Counter
+	dropsLinkDown *telemetry.Counter
+	dropsNoRoute  *telemetry.Counter
+	pfcPauses     *telemetry.Counter
+	pfcResumes    *telemetry.Counter
+
+	// queueDepth observes the instantaneous switch data-queue occupancy at
+	// every switch enqueue, giving the live queue-depth distribution.
+	queueDepth *telemetry.Histogram
+}
+
+func newNetMetrics(reg *telemetry.Registry) netMetrics {
+	return netMetrics{
+		enqPackets:    reg.Counter("netsim_enq_packets_total"),
+		txPackets:     reg.Counter("netsim_tx_packets_total"),
+		txBytes:       reg.Counter("netsim_tx_bytes_total"),
+		ecnMarks:      reg.Counter("netsim_ecn_marks_total"),
+		dropsOverflow: reg.Counter("netsim_drops_overflow_total"),
+		dropsLinkDown: reg.Counter("netsim_drops_linkdown_total"),
+		dropsNoRoute:  reg.Counter("netsim_drops_unreachable_total"),
+		pfcPauses:     reg.Counter("netsim_pfc_pauses_total"),
+		pfcResumes:    reg.Counter("netsim_pfc_resumes_total"),
+		queueDepth:    reg.Histogram("netsim_queue_depth_bytes", telemetry.ExpBuckets(1024, 2, 14)),
+	}
+}
+
+// portQueueGauge names the per-port occupancy gauge for one switch egress
+// port, labelling it by owning node and outgoing link.
+func portQueueGauge(reg *telemetry.Registry, owner, link int) *telemetry.Gauge {
+	if reg == nil {
+		return nil
+	}
+	return reg.Gauge(fmt.Sprintf("netsim_port_queue_bytes{node=%q,link=%q}",
+		fmt.Sprint(owner), fmt.Sprint(link)))
+}

@@ -5,6 +5,7 @@ import (
 
 	"pet/internal/rng"
 	"pet/internal/sim"
+	"pet/internal/telemetry"
 	"pet/internal/topo"
 )
 
@@ -21,6 +22,11 @@ type Config struct {
 	DefaultECN     ECNConfig
 	PFC            PFCConfig          // hop-by-hop pause; disabled unless Enabled
 	SharedBuffer   SharedBufferConfig // per-switch DT pool; disabled unless Enabled
+
+	// Telemetry, when non-nil, receives live counters (enqueues, transmits,
+	// ECN marks, drops, PFC pauses) and per-switch-port queue-depth gauges.
+	// Observation-only: a nil registry costs one nil check per event.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +62,8 @@ type Network struct {
 	sbCfg     SharedBufferConfig
 	sharedBuf map[topo.NodeID]*sharedBufState
 
+	tm netMetrics
+
 	dropsUnreachable uint64
 }
 
@@ -75,6 +83,7 @@ func New(eng *sim.Engine, g *topo.Graph, seed int64, cfg Config) *Network {
 		pfc:       make(map[topo.NodeID]*pfcState),
 		sbCfg:     cfg.SharedBuffer.withDefaults(),
 		sharedBuf: make(map[topo.NodeID]*sharedBufState),
+		tm:        newNetMetrics(cfg.Telemetry),
 	}
 	saltStream := root.Split("ecmp")
 	for i := range n.salts {
@@ -90,7 +99,14 @@ func New(eng *sim.Engine, g *topo.Graph, seed int64, cfg Config) *Network {
 				buf = 16 << 20
 			}
 			r := root.SplitN("port", int(l.ID)*2+side)
-			n.ports[l.ID][side] = newPort(n, owner, l.ID, nQ, buf, ecn, r)
+			p := newPort(n, owner, l.ID, nQ, buf, ecn, r)
+			if g.Node(owner).Kind != topo.Host {
+				// Only switch ports get a live occupancy gauge: they are the
+				// queues ECN control manages, and host NICs would multiply
+				// the series count without adding tuning signal.
+				p.qGauge = portQueueGauge(cfg.Telemetry, int(owner), int(l.ID))
+			}
+			n.ports[l.ID][side] = p
 		}
 	}
 	n.routing = topo.ComputeRouting(g)
@@ -177,6 +193,7 @@ func (n *Network) forward(sw topo.NodeID, via topo.LinkID, pkt *Packet) {
 	hops := n.routing.NextHops(sw, pkt.Dst)
 	if len(hops) == 0 {
 		n.dropsUnreachable++
+		n.tm.dropsNoRoute.Inc()
 		return
 	}
 	idx := 0

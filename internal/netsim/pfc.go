@@ -58,6 +58,7 @@ func (n *Network) pfcArrived(sw topo.NodeID, via topo.LinkID, pkt *Packet) {
 	if !st.pausedUp[via] && st.resident[via] >= n.pfcCfg.XOFFBytes {
 		st.pausedUp[via] = true
 		n.pfcStats.Pauses++
+		n.tm.pfcPauses.Inc()
 		link := n.g.Link(via)
 		peerPort := n.PortFrom(link.Peer(sw), via)
 		n.eng.After(link.Delay, func() { peerPort.setPaused(true) })
@@ -75,6 +76,7 @@ func (n *Network) pfcDeparted(sw topo.NodeID, via topo.LinkID, pkt *Packet) {
 	if st.pausedUp[via] && st.resident[via] <= n.pfcCfg.XONBytes {
 		st.pausedUp[via] = false
 		n.pfcStats.Resumes++
+		n.tm.pfcResumes.Inc()
 		link := n.g.Link(via)
 		peerPort := n.PortFrom(link.Peer(sw), via)
 		n.eng.After(link.Delay, func() { peerPort.setPaused(false) })

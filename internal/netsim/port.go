@@ -3,6 +3,7 @@ package netsim
 import (
 	"pet/internal/rng"
 	"pet/internal/sim"
+	"pet/internal/telemetry"
 	"pet/internal/topo"
 )
 
@@ -63,9 +64,10 @@ type Port struct {
 	busy    bool
 	paused  bool // PFC pause: data queues frozen, control still flows
 
-	rng   *rng.Stream
-	stats PortStats
-	taps  []func(*Packet)
+	rng    *rng.Stream
+	stats  PortStats
+	taps   []func(*Packet)
+	qGauge *telemetry.Gauge // live occupancy; non-nil only on telemetered switch ports
 }
 
 func newPort(net *Network, owner topo.NodeID, link topo.LinkID, nQueues, bufCap int, ecn ECNConfig, r *rng.Stream) *Port {
@@ -134,6 +136,7 @@ func (p *Port) Enqueue(pkt *Packet) bool {
 	if pkt.Control() {
 		if p.ctrl.len() >= p.ctrlCap {
 			p.stats.DropsOverflow++
+			p.net.tm.dropsOverflow.Inc()
 			return false
 		}
 		p.ctrl.push(pkt)
@@ -141,19 +144,27 @@ func (p *Port) Enqueue(pkt *Packet) bool {
 		dq := &p.queues[pkt.Class%len(p.queues)]
 		if dq.bytes+pkt.Size > p.bufCap {
 			p.stats.DropsOverflow++
+			p.net.tm.dropsOverflow.Inc()
 			return false
 		}
 		if !p.net.sharedAdmit(p.owner, dq.bytes, pkt.Size) {
 			p.stats.DropsOverflow++
+			p.net.tm.dropsOverflow.Inc()
 			return false
 		}
 		if pkt.ECT && p.rng.Bernoulli(dq.ecn.markProb(dq.bytes)) {
 			pkt.CE = true
+			p.net.tm.ecnMarks.Inc()
 		}
 		dq.q.push(pkt)
 		dq.bytes += pkt.Size
 		p.stats.EnqPackets++
 		p.stats.EnqBytes += uint64(pkt.Size)
+		p.net.tm.enqPackets.Inc()
+		if p.qGauge != nil {
+			p.net.tm.queueDepth.Observe(float64(dq.bytes))
+			p.qGauge.Set(float64(p.QueueBytes()))
+		}
 	}
 	p.kick()
 	return true
@@ -188,6 +199,9 @@ func (p *Port) next() *Packet {
 			pkt := dq.q.pop()
 			dq.bytes -= pkt.Size
 			p.rrNext = (p.rrNext + i + 1) % n
+			if p.qGauge != nil {
+				p.qGauge.Set(float64(p.QueueBytes()))
+			}
 			return pkt
 		}
 	}
@@ -214,6 +228,8 @@ func (p *Port) complete(pkt *Packet) {
 	p.busy = false
 	p.stats.TxPackets++
 	p.stats.TxBytes += uint64(pkt.Size)
+	p.net.tm.txPackets.Inc()
+	p.net.tm.txBytes.Add(uint64(pkt.Size))
 	if pkt.CE {
 		p.stats.TxMarkedPackets++
 		p.stats.TxMarkedBytes += uint64(pkt.Size)
@@ -234,6 +250,7 @@ func (p *Port) complete(pkt *Packet) {
 		p.net.eng.After(link.Delay, func() { p.net.deliver(peer, link.ID, pkt) })
 	} else {
 		p.stats.DropsLinkDown++
+		p.net.tm.dropsLinkDown.Inc()
 	}
 	p.kick()
 }

@@ -90,6 +90,8 @@ func (a *Agent) UpdateActor(traj *rl.Trajectory, adv []float64) UpdateStats {
 			stats.PolicyLoss += st.PolicyLoss
 			stats.Entropy += st.Entropy
 			stats.ClipFrac += st.ClipFrac
+			stats.ApproxKL += st.ApproxKL
+			stats.GradNorm += st.GradNorm
 			stats.Steps++
 		}
 	}
@@ -98,7 +100,10 @@ func (a *Agent) UpdateActor(traj *rl.Trajectory, adv []float64) UpdateStats {
 		stats.PolicyLoss /= k
 		stats.Entropy /= k
 		stats.ClipFrac /= k
+		stats.ApproxKL /= k
+		stats.GradNorm /= k
 	}
 	a.updates++
+	a.publish(stats)
 	return stats
 }

@@ -14,6 +14,7 @@ import (
 	"pet/internal/nn"
 	"pet/internal/rl"
 	"pet/internal/rng"
+	"pet/internal/telemetry"
 )
 
 // Config parameterizes one agent. Zero values take the paper's settings
@@ -81,6 +82,7 @@ type Agent struct {
 	criticOpt *nn.Adam
 	r         *rng.Stream
 
+	tm      agentMetrics
 	updates int
 
 	// Scratch buffers.
@@ -136,6 +138,47 @@ func (a *Agent) SetClipEps(e float64) {
 // Updates returns how many Update calls have completed.
 func (a *Agent) Updates() int { return a.updates }
 
+// agentMetrics are the per-update optimization-health series. Multiple
+// agents publishing to one registry share the series last-writer-wins,
+// which is the intended live-monitoring semantic (any agent's latest
+// update); per-agent series would multiply cardinality without aiding a
+// quick health read.
+type agentMetrics struct {
+	policyLoss *telemetry.Gauge
+	valueLoss  *telemetry.Gauge
+	entropy    *telemetry.Gauge
+	approxKL   *telemetry.Gauge
+	gradNorm   *telemetry.Gauge
+	clipFrac   *telemetry.Gauge
+	updates    *telemetry.Counter
+}
+
+// SetTelemetry publishes each completed Update's optimization statistics
+// (policy/value loss, entropy, approx-KL, pre-clip grad norm) to reg. A nil
+// registry disables publishing; telemetry never alters training.
+func (a *Agent) SetTelemetry(reg *telemetry.Registry) {
+	a.tm = agentMetrics{
+		policyLoss: reg.Gauge("ppo_policy_loss"),
+		valueLoss:  reg.Gauge("ppo_value_loss"),
+		entropy:    reg.Gauge("ppo_entropy"),
+		approxKL:   reg.Gauge("ppo_approx_kl"),
+		gradNorm:   reg.Gauge("ppo_grad_norm"),
+		clipFrac:   reg.Gauge("ppo_clip_frac"),
+		updates:    reg.Counter("ppo_updates_total"),
+	}
+}
+
+// publish pushes one update's stats to the telemetry series, if any.
+func (a *Agent) publish(st UpdateStats) {
+	a.tm.policyLoss.Set(st.PolicyLoss)
+	a.tm.valueLoss.Set(st.ValueLoss)
+	a.tm.entropy.Set(st.Entropy)
+	a.tm.approxKL.Set(st.ApproxKL)
+	a.tm.gradNorm.Set(st.GradNorm)
+	a.tm.clipFrac.Set(st.ClipFrac)
+	a.tm.updates.Inc()
+}
+
 // forwardPolicy runs trunk+heads for one state and fills a.probs.
 func (a *Agent) forwardPolicy(state []float64) {
 	feat := a.trunk.Forward(state)
@@ -173,6 +216,8 @@ type UpdateStats struct {
 	ValueLoss  float64
 	Entropy    float64
 	ClipFrac   float64
+	ApproxKL   float64 // mean old−new log-prob gap, the standard KL estimate
+	GradNorm   float64 // mean pre-clip actor gradient L2 norm per minibatch
 	Steps      int
 }
 
@@ -210,6 +255,8 @@ func (a *Agent) Update(traj *rl.Trajectory, lastValue float64) UpdateStats {
 			stats.ValueLoss += st.ValueLoss
 			stats.Entropy += st.Entropy
 			stats.ClipFrac += st.ClipFrac
+			stats.ApproxKL += st.ApproxKL
+			stats.GradNorm += st.GradNorm
 			stats.Steps++
 		}
 	}
@@ -219,20 +266,25 @@ func (a *Agent) Update(traj *rl.Trajectory, lastValue float64) UpdateStats {
 		stats.ValueLoss /= k
 		stats.Entropy /= k
 		stats.ClipFrac /= k
+		stats.ApproxKL /= k
+		stats.GradNorm /= k
 	}
 	a.updates++
+	a.publish(stats)
 	return stats
 }
 
 // actorSample accumulates the clipped-surrogate + entropy gradients for one
-// transition into the actor networks. Returns the sample's loss terms.
-func (a *Agent) actorSample(tr *rl.Transition, A, invB float64) (loss, entropy float64, clipped bool) {
+// transition into the actor networks. Returns the sample's loss terms plus
+// the old−new log-prob gap (the per-sample approx-KL contribution).
+func (a *Agent) actorSample(tr *rl.Transition, A, invB float64) (loss, entropy, kl float64, clipped bool) {
 	a.forwardPolicy(tr.State)
 	logp := 0.0
 	for h := range a.heads {
 		logp += nn.LogProb(a.probs[h], tr.Actions[h])
 		entropy += nn.Entropy(a.probs[h])
 	}
+	kl = tr.LogProb - logp
 	ratio := math.Exp(logp - tr.LogProb)
 	surr1 := ratio * A
 	surr2 := clamp(ratio, 1-a.clipEps, 1+a.clipEps) * A
@@ -264,7 +316,7 @@ func (a *Agent) actorSample(tr *rl.Transition, A, invB float64) (loss, entropy f
 		mat.Axpy(1, head.Backward(dl), a.dTrunk)
 	}
 	a.trunk.Backward(a.dTrunk)
-	return loss, entropy, clipped
+	return loss, entropy, kl, clipped
 }
 
 // optimizeBatch accumulates gradients over one minibatch and steps both
@@ -275,9 +327,10 @@ func (a *Agent) optimizeBatch(traj *rl.Trajectory, batch []int, adv, returns []f
 	clipped := 0
 	for _, i := range batch {
 		tr := &traj.Steps[i]
-		loss, entropy, wasClipped := a.actorSample(tr, adv[i], invB)
+		loss, entropy, kl, wasClipped := a.actorSample(tr, adv[i], invB)
 		st.PolicyLoss += loss * invB
 		st.Entropy += entropy * invB
+		st.ApproxKL += kl * invB
 		if wasClipped {
 			clipped++
 		}
@@ -289,7 +342,7 @@ func (a *Agent) optimizeBatch(traj *rl.Trajectory, batch []int, adv, returns []f
 		a.critic.Backward([]float64{2 * diff * invB})
 	}
 	st.ClipFrac = float64(clipped) / float64(len(batch))
-	a.actorOpt.ClipGradNorm(a.cfg.MaxGradNorm)
+	st.GradNorm = a.actorOpt.ClipGradNorm(a.cfg.MaxGradNorm)
 	a.actorOpt.Step()
 	a.criticOpt.ClipGradNorm(a.cfg.MaxGradNorm)
 	a.criticOpt.Step()
@@ -303,15 +356,16 @@ func (a *Agent) optimizeActorBatch(traj *rl.Trajectory, batch []int, adv []float
 	invB := 1.0 / float64(len(batch))
 	clipped := 0
 	for _, i := range batch {
-		loss, entropy, wasClipped := a.actorSample(&traj.Steps[i], adv[i], invB)
+		loss, entropy, kl, wasClipped := a.actorSample(&traj.Steps[i], adv[i], invB)
 		st.PolicyLoss += loss * invB
 		st.Entropy += entropy * invB
+		st.ApproxKL += kl * invB
 		if wasClipped {
 			clipped++
 		}
 	}
 	st.ClipFrac = float64(clipped) / float64(len(batch))
-	a.actorOpt.ClipGradNorm(a.cfg.MaxGradNorm)
+	st.GradNorm = a.actorOpt.ClipGradNorm(a.cfg.MaxGradNorm)
 	a.actorOpt.Step()
 	return st
 }

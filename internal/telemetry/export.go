@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every metric in a registry, the JSON
+// exporter's wire format.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot is one histogram's frozen state. Counts are per-bucket
+// (not cumulative); Counts[len(Bounds)] is the overflow (+Inf) bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank, taking 0 as the lower edge of
+// the first bucket. Ranks landing in the overflow bucket return the last
+// finite bound — the histogram cannot resolve beyond it. Returns 0 with no
+// observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if rank <= cum+float64(n) {
+			if i >= len(s.Bounds) {
+				// Overflow bucket: no finite upper edge to interpolate toward.
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - cum) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (s.Bounds[i]-lo)*frac
+		}
+		cum += float64(n)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Snapshot freezes every metric. A nil registry yields an empty (but
+// non-nil-map) snapshot, so exporters work unconditionally.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counts := make(map[string]*Counter, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, v := range counts {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON emits the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// baseName strips an inline label set: `foo{a="1"}` → `foo`.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// withLabel appends one label to a series name, merging with an existing
+// inline label set: `foo` + le=1 → `foo{le="1"}`, `foo{a="1"}` + le=1 →
+// `foo{a="1",le="1"}`.
+func withLabel(series, key, value string) string {
+	pair := key + `="` + value + `"`
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:len(series)-1] + "," + pair + "}"
+	}
+	return series + "{" + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus emits every metric in the Prometheus text exposition
+// format (counters, gauges, and cumulative-bucket histograms), sorted by
+// series name with one TYPE declaration per base name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	kind := map[string]string{}
+	for k := range s.Counters {
+		names = append(names, k)
+		kind[k] = "counter"
+	}
+	for k := range s.Gauges {
+		names = append(names, k)
+		kind[k] = "gauge"
+	}
+	for k := range s.Histograms {
+		names = append(names, k)
+		kind[k] = "histogram"
+	}
+	sort.Strings(names)
+
+	typed := map[string]bool{}
+	for _, name := range names {
+		base := baseName(name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind[name]); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch kind[name] {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Gauges[name]))
+		case "histogram":
+			h := s.Histograms[name]
+			cum := uint64(0)
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				_, err = fmt.Fprintf(w, "%s %d\n", withLabel(name+"_bucket", "le", formatFloat(bound)), cum)
+				if err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s %d\n", withLabel(name+"_bucket", "le", "+Inf"), h.Count); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Package telemetry is the repo's dependency-free metrics subsystem: atomic
+// counters, gauges and fixed-bucket histograms behind a named registry, with
+// exporters for the Prometheus text format and JSON snapshots plus an
+// optional HTTP endpoint (see http.go).
+//
+// The design goal is a fast path cheap enough to leave compiled into the
+// simulator's hot loops: every metric handle is a pointer whose methods are
+// no-ops on nil, and a nil *Registry hands out nil handles. Instrumented
+// code therefore never branches on "telemetry enabled?" — it just calls
+// Inc/Set/Observe unconditionally, and a disabled run pays one nil check
+// per call site.
+//
+// Telemetry is strictly observation-only. No metric feeds back into any
+// simulation, training or checkpoint decision, so enabling it cannot
+// perturb determinism (the fleet's bundle-bitwise-identical guarantee is
+// tested in internal/fleet).
+//
+// Series naming follows the Prometheus convention. A name may carry a
+// label set inline — `netsim_port_queue_bytes{link="3",side="0"}` — and the
+// registry treats the full string as the series key; the exporter groups
+// TYPE declarations by the base name before the '{'.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a valid no-op sink.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. No-op on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. Zero on nil.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 that may go up and down. The zero value is
+// ready to use; a nil *Gauge is a valid no-op sink.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add atomically adds delta to the current value. No-op on nil.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value. Zero on nil.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with Prometheus `le` semantics:
+// bucket i counts observations v ≤ bounds[i]; one extra overflow bucket
+// counts everything above the last bound (the +Inf bucket). Observations
+// below the first bound land in bucket 0 — there is no underflow loss.
+// A nil *Histogram is a valid no-op sink.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds
+	counts []atomic.Uint64
+	sum    Gauge // atomic CAS-add of observed values
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = ExpBuckets(1, 2, 16)
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, len(bounds) on overflow
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns a consistent-enough copy for export: each bucket is read
+// atomically, though concurrent observers may land between reads.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Value(),
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		s.Counts[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds start, start·factor,
+// start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n linearly spaced upper bounds start, start+width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Lookups are get-or-create and
+// safe for concurrent use — parallel fleet workers instrumenting the same
+// series all receive the same underlying metric. A nil *Registry hands out
+// nil (no-op) metrics, which is the disabled fast path.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[name]
+	if c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given upper
+// bounds on first use (later calls keep the original bounds). Nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}

@@ -1,0 +1,331 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("hits_total")
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Mix Inc and Add to cover both entry points.
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					c.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("concurrent counter: got %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := New()
+	g := r.Gauge("level")
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), 0.5*goroutines*perG; got != want {
+		t.Fatalf("concurrent gauge add: got %v, want %v", got, want)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge set: got %v, want -3", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(j % 6))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Fatalf("concurrent observe: got count %d, want 8000", got)
+	}
+}
+
+// Nil handles — the disabled fast path — must be safe for every method.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metric handles")
+	}
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	s := r.Snapshot()
+	if s.Counters == nil || s.Gauges == nil || s.Histograms == nil {
+		t.Fatal("nil registry snapshot must have non-nil maps")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	if err := r.WriteJSON(io.Discard); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := New()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same counter name must return the same handle")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Fatal("same gauge name must return the same handle")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{100, 200, 300}) // later bounds ignored
+	if h1 != h2 {
+		t.Fatal("same histogram name must return the same handle")
+	}
+	h1.Observe(1.5)
+	if got := h1.Snapshot().Bounds; len(got) != 2 {
+		t.Fatalf("histogram must keep its original bounds, got %v", got)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := New()
+	h := r.Histogram("edges", []float64{1, 2, 4})
+	// le semantics: v ≤ bound lands in that bucket; exactly-on-bound is
+	// inclusive; below the first bound still lands in bucket 0; above the
+	// last bound goes to overflow.
+	h.Observe(0.5) // bucket 0 (underflow folds into the first bucket)
+	h.Observe(1)   // bucket 0 (le is inclusive)
+	h.Observe(1.5) // bucket 1
+	h.Observe(4)   // bucket 2
+	h.Observe(5)   // overflow
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count: got %d, want 5", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+4+5 {
+		t.Fatalf("sum: got %v", s.Sum)
+	}
+	if got, want := s.Mean(), 12.0/5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean: got %v, want %v", got, want)
+	}
+}
+
+func TestHistogramDefaultBounds(t *testing.T) {
+	r := New()
+	h := r.Histogram("dflt", nil)
+	h.Observe(3)
+	if len(h.Snapshot().Bounds) == 0 {
+		t.Fatal("nil bounds must fall back to a default bucket layout")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	// Four observations in a single [0,10] bucket interpolate linearly.
+	one := HistogramSnapshot{Bounds: []float64{10}, Counts: []uint64{4, 0}, Count: 4}
+	if got := one.Quantile(0.5); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("median of one bucket: got %v, want 5", got)
+	}
+	if got := one.Quantile(1); got != 10 {
+		t.Fatalf("q=1: got %v, want 10", got)
+	}
+
+	// Ranks in the overflow bucket clamp to the last finite bound.
+	over := HistogramSnapshot{Bounds: []float64{10}, Counts: []uint64{1, 9}, Count: 10}
+	if got := over.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow quantile: got %v, want 10", got)
+	}
+
+	// Empty histogram reads 0, out-of-range q clamps.
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile: got %v, want 0", got)
+	}
+	if got := one.Quantile(2); got != 10 {
+		t.Fatalf("q>1 must clamp to 1: got %v", got)
+	}
+	if got := one.Quantile(-1); got != 0 {
+		t.Fatalf("q<0 must clamp to 0: got %v", got)
+	}
+
+	// Interpolation across multiple buckets: 2 obs in (0,1], 2 in (1,3].
+	multi := HistogramSnapshot{Bounds: []float64{1, 3}, Counts: []uint64{2, 2, 0}, Count: 4}
+	if got := multi.Quantile(0.75); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("q=0.75 across buckets: got %v, want 2", got)
+	}
+}
+
+func TestExpAndLinearBuckets(t *testing.T) {
+	if got := ExpBuckets(1, 2, 4); got[0] != 1 || got[3] != 8 {
+		t.Fatalf("ExpBuckets: got %v", got)
+	}
+	if got := LinearBuckets(10, 5, 3); got[0] != 10 || got[2] != 20 {
+		t.Fatalf("LinearBuckets: got %v", got)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter("req_total").Add(3)
+	r.Gauge("temp").Set(1.5)
+	r.Gauge(`port_queue_bytes{node="1",link="2"}`).Set(9)
+	r.Gauge(`port_queue_bytes{node="1",link="3"}`).Set(11)
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE req_total counter\n",
+		"req_total 3\n",
+		"# TYPE temp gauge\n",
+		"temp 1.5\n",
+		"# TYPE port_queue_bytes gauge\n",
+		`port_queue_bytes{node="1",link="2"} 9` + "\n",
+		`port_queue_bytes{node="1",link="3"} 11` + "\n",
+		"# TYPE lat histogram\n",
+		`lat_bucket{le="1"} 1` + "\n", // cumulative
+		`lat_bucket{le="2"} 2` + "\n",
+		`lat_bucket{le="+Inf"} 3` + "\n", // +Inf equals total count
+		"lat_sum 101\n",
+		"lat_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per base name even with multiple labeled series.
+	if got := strings.Count(out, "# TYPE port_queue_bytes"); got != 1 {
+		t.Errorf("want exactly one TYPE line for labeled family, got %d", got)
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if s.Counters["c"] != 7 || s.Gauges["g"] != 2.5 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("round-trip mismatch: %+v", s)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := New()
+	r.Counter("served_total").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "served_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type: %q", ct)
+	}
+
+	body, ct = get("/snapshot")
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Errorf("/snapshot is not JSON: %v", err)
+	}
+	if !strings.Contains(ct, "application/json") {
+		t.Errorf("/snapshot content type: %q", ct)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET via bound addr %s: %v", srv.Addr, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

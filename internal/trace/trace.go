@@ -23,6 +23,7 @@ const (
 	FlowDone   Kind = "flow_done"
 	ECNChange  Kind = "ecn_change"
 	LinkChange Kind = "link_change"
+	Telemetry  Kind = "telemetry" // periodic metrics flush (one row per fleet round)
 	Custom     Kind = "custom"
 )
 

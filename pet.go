@@ -29,6 +29,8 @@
 package pet
 
 import (
+	"net/http"
+
 	"pet/internal/acc"
 	"pet/internal/bench"
 	"pet/internal/core"
@@ -38,7 +40,9 @@ import (
 	"pet/internal/netsim"
 	"pet/internal/sim"
 	"pet/internal/stats"
+	"pet/internal/telemetry"
 	"pet/internal/topo"
+	"pet/internal/trace"
 	"pet/internal/workload"
 )
 
@@ -254,6 +258,34 @@ func PretrainFleet(s Scenario, dur Time, cfg FleetConfig) (FleetResult, error) {
 	cfg.Episode = dur
 	return fleet.Pretrain(s, cfg)
 }
+
+// Live telemetry (internal/telemetry).
+type (
+	// Telemetry is a named registry of atomic counters, gauges and
+	// fixed-bucket histograms. Attach one via Scenario.Telemetry or
+	// FleetConfig.Telemetry to watch a run live; it is observation-only
+	// and never perturbs simulation or training determinism.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of every metric.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TraceRecorder accumulates structured simulation events for CSV
+	// export, including the fleet's per-round telemetry flush.
+	TraceRecorder = trace.Recorder
+)
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// ServeTelemetry serves a registry over HTTP in the background: /metrics
+// (Prometheus text format), /snapshot (JSON) and /debug/pprof. The returned
+// server's Addr holds the bound address; shut it down with Close.
+func ServeTelemetry(addr string, r *Telemetry) (*http.Server, error) {
+	return telemetry.Serve(addr, r)
+}
+
+// NewTraceRecorder returns a recorder keeping at most limit events
+// (0 = unlimited).
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
 
 // Statistics.
 type (
