@@ -1,7 +1,7 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke ci
+.PHONY: build test race vet bench bench-smoke test-chaos ci
 
 build:
 	$(GO) build ./...
@@ -26,4 +26,11 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: build vet test race
+# Chaos tier: the fleet's fault-injection and recovery suite — worker
+# panics, hangs past the episode deadline, quorum merges, checkpoint
+# corruption/fallback, cancellation — under the race detector, twice, so
+# every failure path is exercised both cold and with warm state.
+test-chaos:
+	$(GO) test -race -count=2 -run 'Fault|Quorum|Chaos|Cancel|Checkpoint|Corrupt' ./internal/fleet/ ./internal/bench/
+
+ci: build vet test race test-chaos

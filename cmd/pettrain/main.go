@@ -8,6 +8,7 @@
 //	pettrain -workers 8 -rounds 20 -checkpoint ckpt/ -out pet.model
 //	pettrain -workers 8 -rounds 40 -checkpoint ckpt/ -resume -out pet.model
 //	pettrain -workers 4 -rounds 50 -telemetry :8080 -out pet.model
+//	pettrain -workers 8 -retries 3 -episode-timeout 2m -quorum 6 -out pet.model
 //	petsim -scheme PET -models pet.model
 //
 // -duration is the simulated training time of one episode; every round each
@@ -18,6 +19,16 @@
 // crash-safe on disk; -resume continues an interrupted run from it. A
 // resumed run must keep the checkpoint's -workers count (episode seeds
 // derive from it); pass -allow-worker-change to override knowingly.
+//
+// The trainer degrades instead of dying: a failed, panicking, or stuck
+// episode retries up to -retries times (each attempt on a fresh
+// deterministic seed), -episode-timeout bounds one attempt in wall-clock
+// time, and -quorum lets a round merge with that many successful episodes
+// instead of all of them (such rounds are flagged degraded). -keep-checkpoints
+// retains that many round-stamped bundles so -resume falls back to an older
+// round when the newest bundle is corrupt. SIGINT/SIGTERM cancels the run
+// gracefully: in-flight episodes drain, a final checkpoint covers the last
+// completed round, and pettrain exits 130 with a -resume hint.
 //
 // -telemetry addr serves live metrics over HTTP while training: /metrics
 // (Prometheus text format), /snapshot (JSON) and /debug/pprof (CPU/heap
@@ -31,10 +42,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"pet"
@@ -53,6 +68,10 @@ func main() {
 		ckpt       = flag.String("checkpoint", "", "checkpoint directory (atomic per-round bundle + manifest)")
 		resume     = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint")
 		allowWC    = flag.Bool("allow-worker-change", false, "permit resuming with a different worker count (changes the training trajectory)")
+		retries    = flag.Int("retries", 2, "per-episode retries after a failure, panic or blown deadline (fresh seed per attempt)")
+		epTimeout  = flag.Duration("episode-timeout", 0, "wall-clock deadline per episode attempt (0 = unbounded)")
+		quorum     = flag.Int("quorum", 0, "minimum successful episodes to merge a round (0 = all workers; less marks the round degraded)")
+		keepCkpt   = flag.Int("keep-checkpoints", 3, "round-stamped bundles retained for corruption fallback on resume")
 		telemetryF = flag.String("telemetry", "", "serve live metrics on this address (e.g. :8080): /metrics, /snapshot, /debug/pprof")
 		traceCSV   = flag.String("tracecsv", "", "write per-round telemetry as CSV to this file")
 		quiet      = flag.Bool("q", false, "suppress per-round progress on stderr")
@@ -92,6 +111,15 @@ func main() {
 		Checkpoint:        *ckpt,
 		Resume:            *resume,
 		AllowWorkerChange: *allowWC,
+		MaxRetries:        *retries,
+		EpisodeTimeout:    *epTimeout,
+		MinQuorum:         *quorum,
+		KeepCheckpoints:   *keepCkpt,
+		// Retries, stragglers, degraded rounds and checkpoint fallbacks
+		// are exceptional; surface them even under -q.
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "pettrain: "+format+"\n", a...)
+		},
 	}
 	if *telemetryF != "" || *traceCSV != "" {
 		cfg.Telemetry = pet.NewTelemetry()
@@ -112,17 +140,35 @@ func main() {
 	}
 	if !*quiet {
 		cfg.OnRound = func(r pet.FleetRound) {
-			fmt.Fprintf(os.Stderr, "round %d/%d: %d episodes, mean reward %.4f, %d PPO updates\n",
-				r.Round+1, *rounds, r.Episodes, r.MeanReward, r.Updates)
+			note := ""
+			if r.Degraded {
+				note = fmt.Sprintf(" [degraded: %d of %d slots failed]", r.Failed, *workers)
+			}
+			fmt.Fprintf(os.Stderr, "round %d/%d: %d episodes, mean reward %.4f, %d PPO updates%s\n",
+				r.Round+1, *rounds, r.Episodes, r.MeanReward, r.Updates, note)
 		}
 	}
 
+	// SIGINT/SIGTERM cancels the run context: the fleet drains in-flight
+	// episodes and writes a final checkpoint for the last completed round
+	// instead of losing it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := pet.PretrainFleet(s, pet.Time(dur.Nanoseconds())*pet.Nanosecond, cfg)
+	res, err := pet.PretrainFleetContext(ctx, s, pet.Time(dur.Nanoseconds())*pet.Nanosecond, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "pettrain: interrupted: %v\n", err)
+			if *ckpt != "" && res.Rounds > 0 {
+				fmt.Fprintf(os.Stderr, "pettrain: checkpoint covers %d completed round(s); rerun with -resume to continue\n", res.Rounds)
+			}
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
 		os.Exit(1)
 	}
+	stop() // training finished; restore default signal disposition
 	if res.ResumedFrom > 0 {
 		fmt.Fprintf(os.Stderr, "resumed from checkpoint at round %d\n", res.ResumedFrom)
 	}
@@ -148,6 +194,6 @@ func main() {
 		*topoF, *wlF, res.Rounds, episodes, dur, time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(res.Models), *out)
 	// The single machine-parsable result line.
-	fmt.Printf("rounds=%d episodes=%d resumed_from=%d cum_reward=%.6f model_bytes=%d out=%s\n",
-		res.Rounds, episodes, res.ResumedFrom, res.CumReward, len(res.Models), *out)
+	fmt.Printf("rounds=%d episodes=%d resumed_from=%d cum_reward=%.6f retries=%d stragglers=%d degraded_rounds=%d model_bytes=%d out=%s\n",
+		res.Rounds, episodes, res.ResumedFrom, res.CumReward, res.Retries, res.Stragglers, len(res.DegradedRounds), len(res.Models), *out)
 }

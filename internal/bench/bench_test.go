@@ -2,7 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
+	"errors"
 	"strconv"
 	"strings"
 
@@ -289,11 +291,12 @@ func TestTraceCollection(t *testing.T) {
 
 func TestPretrainEpisodeDeterministicAndChains(t *testing.T) {
 	s := Scenario{Load: 0.4}
-	a, err := PretrainEpisode(s, 3*sim.Millisecond, 7, nil)
+	ctx := context.Background()
+	a, err := PretrainEpisode(ctx, s, 3*sim.Millisecond, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := PretrainEpisode(s, 3*sim.Millisecond, 7, nil)
+	b, err := PretrainEpisode(ctx, s, 3*sim.Millisecond, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,12 +307,36 @@ func TestPretrainEpisodeDeterministicAndChains(t *testing.T) {
 		t.Fatalf("mean reward = %v", a.MeanReward)
 	}
 	// Episodes chain: a later episode starts from the earlier weights.
-	if _, err := PretrainEpisode(s, 3*sim.Millisecond, 8, a.Models); err != nil {
+	if _, err := PretrainEpisode(ctx, s, 3*sim.Millisecond, 8, a.Models); err != nil {
 		t.Fatalf("chained episode: %v", err)
 	}
 	// A corrupt base bundle is an error, not a panic.
-	if _, err := PretrainEpisode(s, 3*sim.Millisecond, 8, []byte("junk")); err == nil {
+	if _, err := PretrainEpisode(ctx, s, 3*sim.Millisecond, 8, []byte("junk")); err == nil {
 		t.Fatal("junk base models accepted")
+	}
+}
+
+func TestPretrainEpisodeCancellation(t *testing.T) {
+	s := Scenario{Load: 0.4}
+	// A pre-cancelled context fails fast with a typed, matchable error.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PretrainEpisode(cancelled, s, 3*sim.Millisecond, 7, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled episode err = %v, want context.Canceled", err)
+	}
+	// A nil context behaves as Background and must match the explicit one
+	// byte for byte — cancellation plumbing is observation-only.
+	a, err := PretrainEpisode(nil, s, 3*sim.Millisecond, 7, nil) //nolint:staticcheck // nil ctx is part of the contract
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PretrainEpisode(context.Background(), s, 3*sim.Millisecond, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Models, b.Models) {
+		t.Fatal("nil-context episode differs from Background-context episode")
 	}
 }
 

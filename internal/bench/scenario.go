@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"pet/internal/acc"
@@ -522,13 +523,29 @@ type EpisodeStats struct {
 	Updates    int     // completed IPPO updates across agents
 }
 
+// ctxCheckChunks bounds how long a cancellation can go unnoticed: the
+// episode horizon is split into this many engine runs with a context check
+// between each. Chunking is invisible to the simulation — RunUntil(t1)
+// followed by RunUntil(t2) fires exactly the events one RunUntil(t2) would,
+// in the same order.
+const ctxCheckChunks = 64
+
 // PretrainEpisode runs one deterministic offline-training episode: assemble
 // the scenario on the given seed, optionally restore an initial model
 // bundle, simulate dur of training traffic, and return the trained bundle.
 // This is the episode-granular rollout primitive the parallel pre-training
 // fleet drives — each worker owns its own engine and environment, so
 // determinism per (scenario, seed) is preserved under concurrency.
-func PretrainEpisode(s Scenario, dur sim.Time, seed int64, models []byte) (EpisodeStats, error) {
+//
+// ctx (nil = Background) cancels the episode between engine chunks: a
+// cancelled or deadline-expired episode returns an error wrapping
+// ctx.Err() instead of a bundle. Cancellation never perturbs the
+// simulation itself — an uncancelled run is byte-identical regardless of
+// how the horizon was chunked.
+func PretrainEpisode(ctx context.Context, s Scenario, dur sim.Time, seed int64, models []byte) (EpisodeStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	env := NewEnv(pretrainScenario(s, dur, seed))
 	if len(models) > 0 {
 		if err := env.PET.LoadModels(models); err != nil {
@@ -536,7 +553,23 @@ func PretrainEpisode(s Scenario, dur sim.Time, seed int64, models []byte) (Episo
 		}
 	}
 	env.Gen.Start()
-	env.Eng.RunUntil(dur)
+	step := dur / ctxCheckChunks
+	if step <= 0 {
+		step = dur
+	}
+	for now := sim.Time(0); now < dur; {
+		if err := ctx.Err(); err != nil {
+			return EpisodeStats{}, fmt.Errorf("bench: episode cancelled at %v of %v: %w", now, dur, err)
+		}
+		now += step
+		if now > dur {
+			now = dur
+		}
+		env.Eng.RunUntil(now)
+	}
+	if err := ctx.Err(); err != nil {
+		return EpisodeStats{}, fmt.Errorf("bench: episode cancelled at %v: %w", dur, err)
+	}
 	data, err := env.PET.EncodeModels()
 	if err != nil {
 		return EpisodeStats{}, fmt.Errorf("bench: encoding pretrained models: %w", err)
@@ -561,7 +594,7 @@ func PretrainInit(s Scenario) ([]byte, error) {
 // returned for deployment in subsequent (online) runs. It is the
 // single-episode sequential path; internal/fleet parallelizes it.
 func PretrainPET(s Scenario, dur sim.Time) []byte {
-	ep, err := PretrainEpisode(s, dur, s.Seed, nil)
+	ep, err := PretrainEpisode(context.Background(), s, dur, s.Seed, nil)
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))
 	}

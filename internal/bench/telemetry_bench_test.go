@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"pet/internal/sim"
@@ -22,7 +23,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	run := func(b *testing.B, s Scenario) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := PretrainEpisode(s, episode, s.Seed, init); err != nil {
+			if _, err := PretrainEpisode(context.Background(), s, episode, s.Seed, init); err != nil {
 				b.Fatal(err)
 			}
 		}

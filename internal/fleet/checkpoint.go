@@ -8,23 +8,33 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 )
 
-// Checkpoint layout: the directory holds one round-stamped model bundle
-// (fleet-NNNNNN.bundle) plus manifest.json describing it. Writes are
-// crash-safe by ordering: (1) the new bundle lands under a fresh name via
-// write-to-temp + rename, (2) the manifest is atomically swapped to point
-// at it, (3) superseded bundles are garbage-collected. Interruption at any
-// point leaves a manifest whose referenced bundle exists and whose SHA-256
-// still matches, so LoadCheckpoint either returns a consistent (manifest,
-// bundle) pair or a hard error — never silently-corrupt weights.
+// Checkpoint layout: the directory holds the last KeepCheckpoints
+// round-stamped model bundles (fleet-NNNNNN.bundle), each paired with a
+// round-stamped manifest (fleet-NNNNNN.json), plus manifest.json pointing
+// at the newest pair. Writes are crash-safe by ordering: (1) the new
+// bundle lands under a fresh name via write-to-temp + rename, (2) its
+// round-stamped manifest follows, (3) manifest.json is atomically swapped
+// to point at it, (4) superseded pairs beyond the retention depth are
+// garbage-collected. Interruption at any point leaves at least one
+// (manifest, bundle) pair whose SHA-256 still matches, and LoadCheckpoint
+// falls back through the retained history newest-first, so one corrupted
+// bundle no longer bricks resume — never silently-corrupt weights.
 
 const (
 	manifestVersion = 1
 	manifestName    = "manifest.json"
 	bundlePrefix    = "fleet-"
 	bundleSuffix    = ".bundle"
+	historySuffix   = ".json"
+
+	// defaultKeepCheckpoints is the bundle-history retention depth when
+	// the caller passes keep <= 0.
+	defaultKeepCheckpoints = 3
 )
 
 // Manifest is the JSON checkpoint descriptor.
@@ -38,10 +48,29 @@ type Manifest struct {
 	SHA256    string    `json:"sha256"` // hex digest of the bundle bytes
 	CumReward float64   `json:"cum_reward"`
 	Rewards   []float64 `json:"rewards"` // per-round mean rewards
+
+	// Fault-tolerance history. Retry seeds derive statelessly from
+	// (round, worker, attempt), so these fields document what happened —
+	// resume determinism never depends on them.
+	Retries        int   `json:"retries,omitempty"`         // cumulative retry attempts
+	Stragglers     int   `json:"stragglers,omitempty"`      // attempts past the episode deadline
+	DegradedRounds []int `json:"degraded_rounds,omitempty"` // 0-based rounds merged below full strength
 }
 
-// ErrNoCheckpoint reports that the checkpoint directory holds no manifest.
-var ErrNoCheckpoint = errors.New("fleet: no checkpoint manifest")
+// Typed checkpoint errors, matchable with errors.Is. LoadCheckpoint wraps
+// them with file-level detail.
+var (
+	// ErrNoCheckpoint reports that the checkpoint directory holds no manifest.
+	ErrNoCheckpoint = errors.New("fleet: no checkpoint manifest")
+	// ErrManifestCorrupt reports unparseable or structurally invalid manifest JSON.
+	ErrManifestCorrupt = errors.New("fleet: manifest corrupt")
+	// ErrVersionSkew reports a manifest written by an incompatible format version.
+	ErrVersionSkew = errors.New("fleet: manifest version skew")
+	// ErrBundleMissing reports a manifest whose bundle file does not exist.
+	ErrBundleMissing = errors.New("fleet: bundle missing")
+	// ErrBundleCorrupt reports a bundle whose bytes fail the manifest checksum.
+	ErrBundleCorrupt = errors.New("fleet: bundle checksum mismatch")
+)
 
 // atomicWrite writes data next to path and renames it into place, so
 // readers never observe a partially-written file.
@@ -57,11 +86,46 @@ func bundleName(round int) string {
 	return fmt.Sprintf("%s%06d%s", bundlePrefix, round, bundleSuffix)
 }
 
-// SaveCheckpoint atomically persists a round's merged models and manifest.
-// The Bundle and SHA256 manifest fields are filled in here.
-func SaveCheckpoint(dir string, m Manifest, models []byte) error {
+func historyName(round int) string {
+	return fmt.Sprintf("%s%06d%s", bundlePrefix, round, historySuffix)
+}
+
+// checkpointRound parses the round number out of fleet-NNNNNN.bundle or
+// fleet-NNNNNN.json names; ok is false for anything else (manifest.json
+// and temp files included).
+func checkpointRound(name string) (round int, ok bool) {
+	if !strings.HasPrefix(name, bundlePrefix) {
+		return 0, false
+	}
+	rest := strings.TrimPrefix(name, bundlePrefix)
+	switch {
+	case strings.HasSuffix(rest, bundleSuffix):
+		rest = strings.TrimSuffix(rest, bundleSuffix)
+	case strings.HasSuffix(rest, historySuffix):
+		rest = strings.TrimSuffix(rest, historySuffix)
+	default:
+		return 0, false
+	}
+	r, err := strconv.Atoi(rest)
+	if err != nil || r < 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+// SaveCheckpoint atomically persists a round's merged models, its
+// round-stamped manifest, and the latest-manifest pointer, then trims the
+// on-disk history to the newest keep rounds (keep <= 0 means the default
+// of 3). The Bundle and SHA256 manifest fields are filled in here.
+func SaveCheckpoint(dir string, m Manifest, models []byte, keep int) error {
+	if keep <= 0 {
+		keep = defaultKeepCheckpoints
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
+	}
+	if m.Version == 0 {
+		m.Version = manifestVersion
 	}
 	m.Bundle = bundleName(m.Round)
 	sum := sha256.Sum256(models)
@@ -74,58 +138,150 @@ func SaveCheckpoint(dir string, m Manifest, models []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := atomicWrite(filepath.Join(dir, manifestName), append(data, '\n')); err != nil {
+	data = append(data, '\n')
+	if err := atomicWrite(filepath.Join(dir, historyName(m.Round)), data); err != nil {
+		return fmt.Errorf("fleet: writing history manifest: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(dir, manifestName), data); err != nil {
 		return fmt.Errorf("fleet: writing manifest: %w", err)
 	}
-	gcBundles(dir, m.Bundle)
+	gcBundles(dir, m.Round, keep)
 	return nil
 }
 
-// gcBundles removes superseded bundle files and stray temp files. Failures
-// are ignored: stale files cost disk, never correctness.
-func gcBundles(dir, keep string) {
+// gcBundles removes stray temp files, checkpoint files stamped with rounds
+// newer than the one just written (orphans of torn writes), and everything
+// older than the newest keep retained rounds. Failures are ignored: stale
+// files cost disk, never correctness.
+func gcBundles(dir string, round, keep int) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
+	seen := make(map[int]bool)
+	var rounds []int
+	for _, e := range entries {
+		if r, ok := checkpointRound(e.Name()); ok && r <= round && !seen[r] {
+			seen[r] = true
+			rounds = append(rounds, r)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(rounds)))
+	kept := make(map[int]bool, keep)
+	for i, r := range rounds {
+		if i < keep {
+			kept[r] = true
+		}
+	}
 	for _, e := range entries {
 		name := e.Name()
-		stale := strings.HasSuffix(name, ".tmp") ||
-			(strings.HasPrefix(name, bundlePrefix) && strings.HasSuffix(name, bundleSuffix) && name != keep)
-		if stale {
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if r, ok := checkpointRound(name); ok && !kept[r] {
 			os.Remove(filepath.Join(dir, name))
 		}
 	}
 }
 
-// LoadCheckpoint reads the manifest and its model bundle, verifying the
-// checksum. Returns ErrNoCheckpoint when the directory has no manifest.
-func LoadCheckpoint(dir string) (Manifest, []byte, error) {
+// parseManifest decodes and structurally validates manifest JSON.
+func parseManifest(data []byte) (Manifest, error) {
 	var m Manifest
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if errors.Is(err, os.ErrNotExist) {
-		return m, nil, ErrNoCheckpoint
-	}
-	if err != nil {
-		return m, nil, err
-	}
 	if err := json.Unmarshal(data, &m); err != nil {
-		return m, nil, fmt.Errorf("fleet: parsing manifest: %w", err)
+		return m, fmt.Errorf("%w: %v", ErrManifestCorrupt, err)
 	}
 	if m.Version != manifestVersion {
-		return m, nil, fmt.Errorf("fleet: manifest version %d, want %d", m.Version, manifestVersion)
+		return m, fmt.Errorf("%w: version %d, want %d", ErrVersionSkew, m.Version, manifestVersion)
 	}
 	if m.Bundle == "" || m.Bundle != filepath.Base(m.Bundle) {
-		return m, nil, fmt.Errorf("fleet: manifest references invalid bundle name %q", m.Bundle)
+		return m, fmt.Errorf("%w: invalid bundle name %q", ErrManifestCorrupt, m.Bundle)
 	}
+	return m, nil
+}
+
+// readBundle loads the manifest's bundle and verifies its checksum.
+func readBundle(dir string, m Manifest) ([]byte, error) {
 	models, err := os.ReadFile(filepath.Join(dir, m.Bundle))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: manifest references %s", ErrBundleMissing, m.Bundle)
+	}
 	if err != nil {
-		return m, nil, fmt.Errorf("fleet: reading bundle %s: %w", m.Bundle, err)
+		return nil, err
 	}
 	sum := sha256.Sum256(models)
 	if got := hex.EncodeToString(sum[:]); got != m.SHA256 {
-		return m, nil, fmt.Errorf("fleet: bundle %s checksum %s does not match manifest %s (corrupted checkpoint)",
-			m.Bundle, got, m.SHA256)
+		return nil, fmt.Errorf("%w: bundle %s checksum %s does not match manifest %s (corrupted checkpoint)",
+			ErrBundleCorrupt, m.Bundle, got, m.SHA256)
 	}
-	return m, models, nil
+	return models, nil
+}
+
+// LoadCheckpoint reads the newest usable checkpoint: the latest manifest
+// when it verifies, otherwise the newest retained history pair that passes
+// its sha256 check. Returns ErrNoCheckpoint when the directory has no
+// manifest at all; skipped candidates are silent (use
+// LoadCheckpointFallback to observe them).
+func LoadCheckpoint(dir string) (Manifest, []byte, error) {
+	m, models, _, err := LoadCheckpointFallback(dir, nil)
+	return m, models, err
+}
+
+// LoadCheckpointFallback is LoadCheckpoint with observability: logf (nil =
+// silent) receives one line per skipped candidate, and fellBack reports
+// whether an older history pair was used instead of the latest manifest.
+// When every candidate fails, the error describing the latest manifest's
+// failure is returned, matchable against the typed checkpoint errors.
+func LoadCheckpointFallback(dir string, logf func(format string, a ...any)) (m Manifest, models []byte, fellBack bool, err error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	data, rerr := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(rerr, os.ErrNotExist) {
+		return Manifest{}, nil, false, ErrNoCheckpoint
+	}
+	if rerr != nil {
+		return Manifest{}, nil, false, rerr
+	}
+	m, err = parseManifest(data)
+	if err == nil {
+		if models, err = readBundle(dir, m); err == nil {
+			return m, models, false, nil
+		}
+	}
+	primaryErr := err
+	logf("fleet: checkpoint %s unusable: %v; trying retained history", manifestName, primaryErr)
+
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		return m, nil, false, primaryErr
+	}
+	var rounds []int
+	for _, e := range entries {
+		if r, ok := checkpointRound(e.Name()); ok && strings.HasSuffix(e.Name(), historySuffix) {
+			rounds = append(rounds, r)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(rounds)))
+	for _, r := range rounds {
+		name := historyName(r)
+		data, rerr := os.ReadFile(filepath.Join(dir, name))
+		if rerr != nil {
+			logf("fleet: skipping checkpoint %s: %v", name, rerr)
+			continue
+		}
+		hm, herr := parseManifest(data)
+		if herr != nil {
+			logf("fleet: skipping checkpoint %s: %v", name, herr)
+			continue
+		}
+		hmodels, herr := readBundle(dir, hm)
+		if herr != nil {
+			logf("fleet: skipping checkpoint %s: %v", name, herr)
+			continue
+		}
+		logf("fleet: fell back to checkpoint round %d (%s)", hm.Round, name)
+		return hm, hmodels, true, nil
+	}
+	return m, nil, false, primaryErr
 }

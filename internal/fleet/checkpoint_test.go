@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// saveRounds writes checkpoints for rounds 1..n with distinct payloads.
+func saveRounds(t *testing.T, dir string, n, keep int) {
+	t.Helper()
+	for r := 1; r <= n; r++ {
+		m := Manifest{Round: r, Workers: 1, Seed: 1, EpisodePs: 1}
+		if err := SaveCheckpoint(dir, m, []byte(fmt.Sprintf("round-%d-weights", r)), keep); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// checkpointFiles lists the round-stamped files currently on disk.
+func checkpointFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := checkpointRound(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The GC must retain the newest keep rounds — not nuke everything but the
+// latest — so a single corrupted bundle still leaves fallback candidates.
+func TestGCRetainsCheckpointHistory(t *testing.T) {
+	dir := t.TempDir()
+	saveRounds(t, dir, 5, 3)
+	want := []string{
+		"fleet-000003.bundle", "fleet-000003.json",
+		"fleet-000004.bundle", "fleet-000004.json",
+		"fleet-000005.bundle", "fleet-000005.json",
+	}
+	if got := checkpointFiles(t, dir); !equalStrings(got, want) {
+		t.Fatalf("retained files = %v, want %v", got, want)
+	}
+
+	// keep=1 reproduces the old single-bundle behavior.
+	dir = t.TempDir()
+	saveRounds(t, dir, 4, 1)
+	want = []string{"fleet-000004.bundle", "fleet-000004.json"}
+	if got := checkpointFiles(t, dir); !equalStrings(got, want) {
+		t.Fatalf("keep=1 retained files = %v, want %v", got, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Every corruption mode must yield its typed error when no fallback
+// candidate exists — never a zero Manifest or silently-garbage weights.
+func TestLoadCheckpointTypedErrors(t *testing.T) {
+	t.Run("no checkpoint", func(t *testing.T) {
+		_, _, err := LoadCheckpoint(t.TempDir())
+		if !errors.Is(err, ErrNoCheckpoint) {
+			t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+		}
+	})
+
+	t.Run("garbage manifest JSON", func(t *testing.T) {
+		dir := t.TempDir()
+		mustWrite(t, filepath.Join(dir, manifestName), []byte("{truncated"))
+		_, _, err := LoadCheckpoint(dir)
+		if !errors.Is(err, ErrManifestCorrupt) {
+			t.Fatalf("err = %v, want ErrManifestCorrupt", err)
+		}
+	})
+
+	t.Run("manifest escaping the directory", func(t *testing.T) {
+		dir := t.TempDir()
+		mustWrite(t, filepath.Join(dir, manifestName),
+			[]byte(`{"version": 1, "round": 1, "bundle": "../evil.bundle"}`))
+		_, _, err := LoadCheckpoint(dir)
+		if !errors.Is(err, ErrManifestCorrupt) {
+			t.Fatalf("err = %v, want ErrManifestCorrupt", err)
+		}
+	})
+
+	t.Run("version skew", func(t *testing.T) {
+		dir := t.TempDir()
+		mustWrite(t, filepath.Join(dir, manifestName),
+			[]byte(`{"version": 99, "round": 1, "bundle": "fleet-000001.bundle"}`))
+		_, _, err := LoadCheckpoint(dir)
+		if !errors.Is(err, ErrVersionSkew) {
+			t.Fatalf("err = %v, want ErrVersionSkew", err)
+		}
+	})
+
+	t.Run("missing bundle", func(t *testing.T) {
+		dir := t.TempDir()
+		saveRounds(t, dir, 1, 1)
+		if err := os.Remove(filepath.Join(dir, bundleName(1))); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := LoadCheckpoint(dir)
+		if !errors.Is(err, ErrBundleMissing) {
+			t.Fatalf("err = %v, want ErrBundleMissing", err)
+		}
+	})
+
+	t.Run("checksum mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		saveRounds(t, dir, 1, 1)
+		if err := corruptBundleFile(filepath.Join(dir, bundleName(1))); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := LoadCheckpoint(dir)
+		if !errors.Is(err, ErrBundleCorrupt) {
+			t.Fatalf("err = %v, want ErrBundleCorrupt", err)
+		}
+		if !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("error %q does not mention the checksum", err)
+		}
+	})
+}
+
+// With history retained, the same corruption modes fall back to the newest
+// intact round instead of failing.
+func TestLoadCheckpointFallsBackThroughHistory(t *testing.T) {
+	dir := t.TempDir()
+	saveRounds(t, dir, 3, 3)
+	// Round 3's bundle rots; round 2's history manifest is torn to garbage.
+	if err := corruptBundleFile(filepath.Join(dir, bundleName(3))); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, filepath.Join(dir, historyName(2)), []byte("{torn"))
+
+	var logs []string
+	m, models, fellBack, err := LoadCheckpointFallback(dir, func(format string, a ...any) {
+		logs = append(logs, fmt.Sprintf(format, a...))
+	})
+	if err != nil {
+		t.Fatalf("fallback load failed: %v", err)
+	}
+	if !fellBack {
+		t.Fatal("fellBack = false, want true")
+	}
+	if m.Round != 1 {
+		t.Fatalf("fell back to round %d, want 1", m.Round)
+	}
+	if !bytes.Equal(models, []byte("round-1-weights")) {
+		t.Fatalf("fallback models = %q", models)
+	}
+	// Both bad candidates were logged before round 1 was accepted.
+	joined := strings.Join(logs, "\n")
+	for _, want := range []string{manifestName, historyName(2), "round 1"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("fallback log missing %q:\n%s", want, joined)
+		}
+	}
+
+	// A garbage latest manifest (torn write) also falls back: the history
+	// twin of the same round still verifies.
+	dir = t.TempDir()
+	saveRounds(t, dir, 2, 3)
+	mustWrite(t, filepath.Join(dir, manifestName), []byte("{torn"))
+	m, models, fellBack, err = LoadCheckpointFallback(dir, nil)
+	if err != nil || !fellBack || m.Round != 2 {
+		t.Fatalf("round=%d fellBack=%v err=%v, want round 2 via history", m.Round, fellBack, err)
+	}
+	if !bytes.Equal(models, []byte("round-2-weights")) {
+		t.Fatalf("fallback models = %q", models)
+	}
+}
+
+// Old checkpoints carry no fault-tolerance fields; they must load with
+// zero-value history rather than erroring (manifest forward compatibility).
+func TestManifestWithoutFaultFieldsLoads(t *testing.T) {
+	dir := t.TempDir()
+	saveRounds(t, dir, 1, 1)
+	// Strip the optional fields by rewriting the manifest as the seed
+	// version wrote it.
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"retries", "stragglers", "degraded_rounds"} {
+		if strings.Contains(string(data), field) {
+			t.Fatalf("zero-valued %q serialized into the manifest: %s", field, data)
+		}
+	}
+	m, _, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retries != 0 || m.Stragglers != 0 || len(m.DegradedRounds) != 0 {
+		t.Fatalf("fault fields = %+v, want zero values", m)
+	}
+}
+
+func mustWrite(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+)
+
+// Deterministic fault injection for chaos-testing the fleet. A FaultPlan
+// pins failures to exact coordinates — episode (round, worker, attempt)
+// triples and checkpoint round numbers — so every failure path (panic
+// isolation, retry, deadline, quorum merge, checkpoint fallback) can be
+// exercised by a seedable test, including under the race detector. The
+// plan is consulted read-only from worker goroutines; it must not be
+// mutated while a run is in flight.
+
+// FaultKind selects what an injected episode fault does.
+type FaultKind int
+
+const (
+	// FaultFail makes the episode attempt return an error immediately.
+	FaultFail FaultKind = iota + 1
+	// FaultPanic makes the episode attempt panic. The worker pool must
+	// absorb it (panic isolation) and convert it into a retryable error.
+	FaultPanic
+	// FaultHang makes the episode attempt block until its context is
+	// cancelled (episode deadline or run cancellation) and then return
+	// the context error — the deterministic stand-in for a stuck worker.
+	// It requires Config.EpisodeTimeout or an externally cancelled run
+	// context; with neither, the attempt blocks forever.
+	FaultHang
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultFail:
+		return "fail"
+	case FaultPanic:
+		return "panic"
+	case FaultHang:
+		return "hang"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault injects one episode-level fault at an exact coordinate. Round and
+// Attempt are 0-based (attempt 0 is the first try, attempt k its k-th
+// retry), matching RoundStats.Round and the retry-seed derivation.
+type Fault struct {
+	Round   int
+	Worker  int
+	Attempt int
+	Kind    FaultKind
+}
+
+// FaultPlan is the deterministic chaos schedule for one fleet run. A nil
+// plan injects nothing, so production configs pay only a nil check.
+type FaultPlan struct {
+	// Episodes lists episode-level faults by (round, worker, attempt).
+	Episodes []Fault
+
+	// CorruptBundles lists checkpoint rounds (1-based, as recorded in
+	// Manifest.Round) whose bundle file is corrupted on disk immediately
+	// after the checkpoint write completes — simulating silent disk
+	// corruption so resume exercises the checkpoint-history fallback.
+	CorruptBundles []int
+}
+
+// episodeFault returns the fault scheduled at (round, worker, attempt),
+// or 0 when none is.
+func (p *FaultPlan) episodeFault(round, worker, attempt int) FaultKind {
+	if p == nil {
+		return 0
+	}
+	for _, f := range p.Episodes {
+		if f.Round == round && f.Worker == worker && f.Attempt == attempt {
+			return f.Kind
+		}
+	}
+	return 0
+}
+
+// corruptsBundle reports whether the plan corrupts the bundle saved for
+// the given manifest round.
+func (p *FaultPlan) corruptsBundle(round int) bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.CorruptBundles {
+		if r == round {
+			return true
+		}
+	}
+	return false
+}
+
+// corruptBundleFile flips the first byte of the file in place, guaranteeing
+// a checksum mismatch without changing its size.
+func corruptBundleFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("fleet: cannot corrupt empty bundle %s", path)
+	}
+	data[0] ^= 0xff
+	return os.WriteFile(path, data, 0o644)
+}

@@ -13,30 +13,42 @@ import (
 // are real (wall) time — they never feed back into the simulation, so
 // recording them cannot perturb determinism.
 type fleetMetrics struct {
-	rounds      *telemetry.Counter
-	episodes    *telemetry.Counter
-	round       *telemetry.Gauge
-	meanReward  *telemetry.Gauge
-	cumReward   *telemetry.Gauge
-	ckptBytes   *telemetry.Gauge
-	episodeSec  *telemetry.Histogram
-	mergeSec    *telemetry.Histogram
-	ckptSec     *telemetry.Histogram
-	roundReward *telemetry.Histogram // per-round mean-reward distribution
+	rounds         *telemetry.Counter
+	episodes       *telemetry.Counter // episode attempts, including retries
+	retries        *telemetry.Counter // retry attempts after a failed episode
+	failures       *telemetry.Counter // episode slots that exhausted retries
+	stragglers     *telemetry.Counter // attempts cancelled by the episode deadline
+	degradedRounds *telemetry.Counter // rounds merged below full strength
+	ckptFallbacks  *telemetry.Counter // resumes served by an older retained bundle
+	round          *telemetry.Gauge
+	meanReward     *telemetry.Gauge
+	cumReward      *telemetry.Gauge
+	ckptBytes      *telemetry.Gauge
+	episodeSec     *telemetry.Histogram
+	stragglerSec   *telemetry.Histogram // wall time burnt by deadline-killed attempts
+	mergeSec       *telemetry.Histogram
+	ckptSec        *telemetry.Histogram
+	roundReward    *telemetry.Histogram // per-round mean-reward distribution
 }
 
 func newFleetMetrics(reg *telemetry.Registry) fleetMetrics {
 	return fleetMetrics{
-		rounds:      reg.Counter("fleet_rounds_total"),
-		episodes:    reg.Counter("fleet_episodes_total"),
-		round:       reg.Gauge("fleet_round"),
-		meanReward:  reg.Gauge("fleet_mean_reward"),
-		cumReward:   reg.Gauge("fleet_cum_reward"),
-		ckptBytes:   reg.Gauge("fleet_checkpoint_bytes"),
-		episodeSec:  reg.Histogram("fleet_episode_seconds", telemetry.ExpBuckets(0.001, 2, 20)),
-		mergeSec:    reg.Histogram("fleet_merge_seconds", telemetry.ExpBuckets(0.0001, 2, 20)),
-		ckptSec:     reg.Histogram("fleet_checkpoint_seconds", telemetry.ExpBuckets(0.0001, 2, 20)),
-		roundReward: reg.Histogram("fleet_round_reward", telemetry.LinearBuckets(0.05, 0.05, 20)),
+		rounds:         reg.Counter("fleet_rounds_total"),
+		episodes:       reg.Counter("fleet_episodes_total"),
+		retries:        reg.Counter("fleet_episode_retries_total"),
+		failures:       reg.Counter("fleet_failed_episodes_total"),
+		stragglers:     reg.Counter("fleet_stragglers_total"),
+		degradedRounds: reg.Counter("fleet_degraded_rounds_total"),
+		ckptFallbacks:  reg.Counter("fleet_ckpt_fallbacks_total"),
+		round:          reg.Gauge("fleet_round"),
+		meanReward:     reg.Gauge("fleet_mean_reward"),
+		cumReward:      reg.Gauge("fleet_cum_reward"),
+		ckptBytes:      reg.Gauge("fleet_checkpoint_bytes"),
+		episodeSec:     reg.Histogram("fleet_episode_seconds", telemetry.ExpBuckets(0.001, 2, 20)),
+		stragglerSec:   reg.Histogram("fleet_straggler_seconds", telemetry.ExpBuckets(0.001, 2, 20)),
+		mergeSec:       reg.Histogram("fleet_merge_seconds", telemetry.ExpBuckets(0.0001, 2, 20)),
+		ckptSec:        reg.Histogram("fleet_checkpoint_seconds", telemetry.ExpBuckets(0.0001, 2, 20)),
+		roundReward:    reg.Histogram("fleet_round_reward", telemetry.LinearBuckets(0.05, 0.05, 20)),
 	}
 }
 
@@ -49,11 +61,18 @@ func flushToTrace(rec *trace.Recorder, reg *telemetry.Registry, round int, episo
 		return
 	}
 	at := sim.Time(round+1) * episode
+	degraded := 0
+	if st.Degraded {
+		degraded = 1
+	}
 	fields := []trace.Field{
 		trace.F("round", round),
 		trace.F("mean_reward", st.MeanReward),
 		trace.F("episodes", st.Episodes),
 		trace.F("updates", st.Updates),
+		trace.F("failed", st.Failed),
+		trace.F("retries", st.Retries),
+		trace.F("degraded", degraded),
 	}
 	if reg != nil {
 		s := reg.Snapshot()

@@ -29,6 +29,7 @@
 package pet
 
 import (
+	"context"
 	"net/http"
 
 	"pet/internal/acc"
@@ -241,12 +242,26 @@ func PretrainPET(s Scenario, dur Time) []byte { return bench.PretrainPET(s, dur)
 // Parallel pre-training fleet (internal/fleet).
 type (
 	// FleetConfig parameterizes PretrainFleet: worker count, merge rounds,
-	// checkpoint directory and resume behaviour.
+	// checkpoint directory and resume behaviour, plus the fault-tolerance
+	// knobs (retries, episode deadline, merge quorum, checkpoint history).
 	FleetConfig = fleet.Config
 	// FleetResult summarizes a completed fleet run.
 	FleetResult = fleet.Result
 	// FleetRound summarizes one synchronized merge round (FleetConfig.OnRound).
 	FleetRound = fleet.RoundStats
+	// FleetFaultPlan deterministically injects worker failures and
+	// checkpoint corruption for chaos-testing a fleet (FleetConfig.Faults).
+	FleetFaultPlan = fleet.FaultPlan
+	// FleetFault is one injected episode fault at an exact
+	// (round, worker, attempt) coordinate.
+	FleetFault = fleet.Fault
+)
+
+// The injectable episode fault kinds.
+const (
+	FleetFaultFail  = fleet.FaultFail
+	FleetFaultPanic = fleet.FaultPanic
+	FleetFaultHang  = fleet.FaultHang
 )
 
 // PretrainFleet runs the offline training phase on a pool of parallel
@@ -255,8 +270,17 @@ type (
 // the per-worker weights are merged by averaging. With Workers=1 and
 // Rounds=1 the result is bit-identical to PretrainPET(s, dur).
 func PretrainFleet(s Scenario, dur Time, cfg FleetConfig) (FleetResult, error) {
+	return PretrainFleetContext(context.Background(), s, dur, cfg)
+}
+
+// PretrainFleetContext is PretrainFleet with run-level cancellation: when
+// ctx is cancelled mid-run (e.g. on SIGINT), the fleet drains in-flight
+// episodes, writes a final checkpoint for the last completed round, and
+// returns the partial result alongside an error wrapping ctx.Err(), so an
+// interrupted run resumes instead of losing the round.
+func PretrainFleetContext(ctx context.Context, s Scenario, dur Time, cfg FleetConfig) (FleetResult, error) {
 	cfg.Episode = dur
-	return fleet.Pretrain(s, cfg)
+	return fleet.PretrainContext(ctx, s, cfg)
 }
 
 // Live telemetry (internal/telemetry).
