@@ -1,7 +1,7 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke test-chaos ci
+.PHONY: build test race vet lint bench bench-smoke bench-json test-chaos test-pool ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Lint tier: staticcheck when available (CI installs it; locally it is
+# optional, so a missing binary skips instead of failing the gate).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -33,4 +42,17 @@ bench-smoke:
 test-chaos:
 	$(GO) test -race -count=2 -run 'Fault|Quorum|Chaos|Cancel|Checkpoint|Corrupt' ./internal/fleet/ ./internal/bench/
 
-ci: build vet test race test-chaos
+# Pool tier: rebuild the packet/event pooling layers with the poolcheck
+# build tag, turning ownership violations (double release, use after
+# release) into panics, and run the pooled packages plus both transports.
+test-pool:
+	$(GO) test -tags poolcheck ./internal/sim/ ./internal/netsim/ ./internal/dcqcn/ ./internal/dctcp/
+
+# Hot-path benchmark snapshot: re-measure the three tracked benchmarks and
+# merge them into BENCH_hotpath.json under the "after" label (the "before"
+# section is the committed pre-refactor baseline).
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkSimulatorPacketForwarding|BenchmarkPPOInference|BenchmarkPPOUpdate' -benchmem . \
+		| $(GO) run ./cmd/benchjson -label after -out BENCH_hotpath.json
+
+ci: build vet lint test test-pool race test-chaos

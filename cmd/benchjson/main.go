@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench -benchmem` output into a JSON
+// snapshot, merging labeled sections into one file so before/after pairs of
+// a refactor live side by side:
+//
+//	go test -run='^$' -bench=Hot -benchmem . | benchjson -label after -out BENCH_hotpath.json
+//
+// If the output file already exists, its other labels are preserved and the
+// given label is replaced. See `make bench-json`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Section is the result set of one benchmark run (one label).
+type Section struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName[-P]  N  F ns/op [B B/op] [A allocs/op]`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) (Section, error) {
+	var s Section
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			s.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			s.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			s.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			s.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			var b Benchmark
+			b.Name = m[1]
+			b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			s.Benchmarks = append(s.Benchmarks, b)
+		}
+	}
+	return s, sc.Err()
+}
+
+func main() {
+	label := flag.String("label", "", "section name for this run (e.g. before, after)")
+	out := flag.String("out", "", "output JSON file; existing labels are preserved")
+	flag.Parse()
+	if *label == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label and -out are required")
+		os.Exit(2)
+	}
+
+	sec, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(sec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	file := map[string]Section{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	file[*label] = sec
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s [%s]\n", len(sec.Benchmarks), *out, *label)
+}

@@ -115,6 +115,7 @@ type Flow struct {
 	rateTicker    *sim.Ticker
 	pacing        sim.Handle
 	rtoHandle     sim.Handle
+	rtoArmed      int64 // ACK point when the RTO was last armed
 
 	// Receiver state.
 	expected  int64
@@ -149,6 +150,12 @@ type Transport struct {
 	nextID netsim.FlowID
 
 	tm transportMetrics
+
+	// Cached timer callbacks (arg is the *Flow): pacing and RTO fire once
+	// per data packet, so per-packet closures would dominate the allocation
+	// profile. Created once in NewTransport.
+	pacingFn func(any)
+	rtoFn    func(any)
 
 	onComplete []func(*Flow)
 	onData     []func(pkt *netsim.Packet, delay sim.Time)
@@ -189,6 +196,23 @@ func NewTransport(net *netsim.Network, cfg Config) *Transport {
 		cfg:   cfg.withDefaults(net.Config().MTU),
 		flows: make(map[netsim.FlowID]*Flow),
 		tm:    newTransportMetrics(cfg.Telemetry),
+	}
+	t.pacingFn = func(arg any) {
+		f := arg.(*Flow)
+		f.sending = false
+		t.sendLoop(f)
+	}
+	t.rtoFn = func(arg any) {
+		f := arg.(*Flow)
+		if f.done || f.una != f.rtoArmed || f.txNext <= f.una {
+			return
+		}
+		// Nothing ACKed for a full RTO: go back to the ACK point.
+		f.Retransmits++
+		t.tm.retransmits.Inc()
+		f.txNext = f.una
+		f.bytesSinceCut = 0
+		t.sendLoop(f)
 	}
 	for _, h := range net.Graph().HostIDs() {
 		h := h
@@ -268,17 +292,16 @@ func (t *Transport) sendLoop(f *Flow) {
 	if rem := f.Size - f.txNext; rem < payload {
 		payload = rem
 	}
-	pkt := &netsim.Packet{
-		Flow:  f.ID,
-		Src:   f.Src,
-		Dst:   f.Dst,
-		Kind:  netsim.Data,
-		Size:  int(payload),
-		Seq:   f.txNext,
-		Last:  f.txNext+payload >= f.Size,
-		ECT:   true,
-		Class: f.Class,
-	}
+	pkt := t.net.NewPacket()
+	pkt.Flow = f.ID
+	pkt.Src = f.Src
+	pkt.Dst = f.Dst
+	pkt.Kind = netsim.Data
+	pkt.Size = int(payload)
+	pkt.Seq = f.txNext
+	pkt.Last = f.txNext+payload >= f.Size
+	pkt.ECT = true
+	pkt.Class = f.Class
 	t.net.SendFromHost(f.Src, pkt)
 	f.txNext += payload
 	f.bytesSinceCut += payload
@@ -289,27 +312,14 @@ func (t *Transport) sendLoop(f *Flow) {
 	t.armRTO(f)
 
 	gap := sim.TransmitTime(int(payload), f.rc)
-	f.pacing = t.eng.After(gap, func() {
-		f.sending = false
-		t.sendLoop(f)
-	})
+	f.pacing = t.eng.AfterArg(gap, t.pacingFn, f)
 }
 
 // armRTO (re)arms the go-back-N timeout for the current ACK point.
 func (t *Transport) armRTO(f *Flow) {
 	f.rtoHandle.Cancel()
-	armed := f.una
-	f.rtoHandle = t.eng.After(t.cfg.RTO, func() {
-		if f.done || f.una != armed || f.txNext <= f.una {
-			return
-		}
-		// Nothing ACKed for a full RTO: go back to the ACK point.
-		f.Retransmits++
-		t.tm.retransmits.Inc()
-		f.txNext = f.una
-		f.bytesSinceCut = 0
-		t.sendLoop(f)
-	})
+	f.rtoArmed = f.una
+	f.rtoHandle = t.eng.AfterArg(t.cfg.RTO, t.rtoFn, f)
 }
 
 // endpoint adapts a host to the netsim.Endpoint interface.
@@ -341,9 +351,10 @@ func (t *Transport) recvData(host topo.NodeID, pkt *netsim.Packet) {
 		f.lastCNPTx = now
 		f.cnpsSent++
 		t.tm.cnps.Inc()
-		t.net.SendFromHost(host, &netsim.Packet{
-			Flow: pkt.Flow, Src: host, Dst: pkt.Src, Kind: netsim.CNP, Size: t.cfg.CNPSize,
-		})
+		cnp := t.net.NewPacket()
+		cnp.Flow, cnp.Src, cnp.Dst = pkt.Flow, host, pkt.Src
+		cnp.Kind, cnp.Size = netsim.CNP, t.cfg.CNPSize
+		t.net.SendFromHost(host, cnp)
 	}
 	if pkt.Seq == f.expected {
 		f.expected += int64(pkt.Size)
@@ -355,10 +366,10 @@ func (t *Transport) recvData(host topo.NodeID, pkt *netsim.Packet) {
 		}
 	}
 	// Cumulative ACK (also dup-ACK on out-of-order, keeping GBN honest).
-	t.net.SendFromHost(host, &netsim.Packet{
-		Flow: pkt.Flow, Src: host, Dst: pkt.Src, Kind: netsim.Ack,
-		Size: t.cfg.AckSize, Seq: f.expected,
-	})
+	ack := t.net.NewPacket()
+	ack.Flow, ack.Src, ack.Dst = pkt.Flow, host, pkt.Src
+	ack.Kind, ack.Size, ack.Seq = netsim.Ack, t.cfg.AckSize, f.expected
+	t.net.SendFromHost(host, ack)
 }
 
 // recvAck is sender-side cumulative ACK processing.

@@ -78,6 +78,7 @@ type Flow struct {
 	markedBytes int64 // CE-echo bytes in this window
 	done        bool
 	rtoHandle   sim.Handle
+	rtoArmed    int64 // ACK point when the RTO was last armed
 
 	// Receiver state.
 	expected int64
@@ -106,6 +107,10 @@ type Transport struct {
 	flows  map[netsim.FlowID]*Flow
 	nextID netsim.FlowID
 
+	// Cached RTO callback (arg is the *Flow); armRTO fires once per pump
+	// and per ACK advance, so a per-arm closure would allocate per packet.
+	rtoFn func(any)
+
 	onComplete []func(*Flow)
 	onData     []func(pkt *netsim.Packet, delay sim.Time)
 }
@@ -117,6 +122,16 @@ func NewTransport(net *netsim.Network, cfg Config) *Transport {
 		eng:   net.Engine(),
 		cfg:   cfg.withDefaults(net.Config().MTU),
 		flows: make(map[netsim.FlowID]*Flow),
+	}
+	t.rtoFn = func(arg any) {
+		f := arg.(*Flow)
+		if f.done || f.una != f.rtoArmed {
+			return
+		}
+		f.Retransmits++
+		f.txNext = f.una
+		f.cwnd = float64(t.cfg.MinCwndPkt) // timeout collapses the window
+		t.pump(f)
 	}
 	for _, h := range net.Graph().HostIDs() {
 		h := h
@@ -187,17 +202,17 @@ func (t *Transport) pump(f *Flow) {
 		if rem := f.Size - f.txNext; rem < payload {
 			payload = rem
 		}
-		t.net.SendFromHost(f.Src, &netsim.Packet{
-			Flow:  f.ID,
-			Src:   f.Src,
-			Dst:   f.Dst,
-			Kind:  netsim.Data,
-			Size:  int(payload),
-			Seq:   f.txNext,
-			Last:  f.txNext+payload >= f.Size,
-			ECT:   true,
-			Class: f.Class,
-		})
+		pkt := t.net.NewPacket()
+		pkt.Flow = f.ID
+		pkt.Src = f.Src
+		pkt.Dst = f.Dst
+		pkt.Kind = netsim.Data
+		pkt.Size = int(payload)
+		pkt.Seq = f.txNext
+		pkt.Last = f.txNext+payload >= f.Size
+		pkt.ECT = true
+		pkt.Class = f.Class
+		t.net.SendFromHost(f.Src, pkt)
 		f.txNext += payload
 	}
 	t.armRTO(f)
@@ -208,16 +223,8 @@ func (t *Transport) armRTO(f *Flow) {
 	if f.txNext <= f.una {
 		return
 	}
-	armed := f.una
-	f.rtoHandle = t.eng.After(t.cfg.RTO, func() {
-		if f.done || f.una != armed {
-			return
-		}
-		f.Retransmits++
-		f.txNext = f.una
-		f.cwnd = float64(t.cfg.MinCwndPkt) // timeout collapses the window
-		t.pump(f)
-	})
+	f.rtoArmed = f.una
+	f.rtoHandle = t.eng.AfterArg(t.cfg.RTO, t.rtoFn, f)
 }
 
 type endpoint struct {
@@ -251,11 +258,11 @@ func (t *Transport) recvData(host topo.NodeID, pkt *netsim.Packet) {
 	}
 	// Cumulative ACK with the CE echo (the simulator's ECE flag); the
 	// sender attributes delta(Seq) bytes to marked or clean accordingly.
-	t.net.SendFromHost(host, &netsim.Packet{
-		Flow: pkt.Flow, Src: host, Dst: pkt.Src, Kind: netsim.Ack,
-		Size: t.cfg.AckSize, Seq: f.expected,
-		CE: pkt.CE,
-	})
+	ack := t.net.NewPacket()
+	ack.Flow, ack.Src, ack.Dst = pkt.Flow, host, pkt.Src
+	ack.Kind, ack.Size, ack.Seq = netsim.Ack, t.cfg.AckSize, f.expected
+	ack.CE = pkt.CE
+	t.net.SendFromHost(host, ack)
 	if f.expected >= f.Size {
 		t.complete(f)
 	}

@@ -1,29 +1,56 @@
 package netsim
 
-// fifo is a slice-backed packet queue with amortized O(1) push/pop.
+// fifo is a circular-buffer packet queue with O(1) push/pop. The ring
+// reuses its slots instead of appending forever, so a steady-state queue
+// runs allocation-free: the buffer only grows (doubling) when occupancy
+// exceeds capacity, and is right-sized back down (halving) once a burst
+// drains and occupancy falls to a quarter of capacity. The grow/shrink
+// thresholds are separated so a queue oscillating around one size never
+// thrashes the allocator.
 type fifo struct {
 	buf  []*Packet
-	head int
+	head int // index of the oldest element
+	n    int // number of elements
 }
 
-func (f *fifo) push(p *Packet) { f.buf = append(f.buf, p) }
+// fifoMinCap bounds shrinking: rings at or below this size stay allocated,
+// which keeps the common shallow-queue case free of any resizing at all.
+const fifoMinCap = 64
+
+func (f *fifo) push(p *Packet) {
+	if f.n == len(f.buf) {
+		f.resize(max(2*len(f.buf), fifoMinCap))
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = p
+	f.n++
+}
 
 func (f *fifo) pop() *Packet {
-	if f.head >= len(f.buf) {
+	if f.n == 0 {
 		return nil
 	}
 	p := f.buf[f.head]
 	f.buf[f.head] = nil
-	f.head++
-	// Reclaim space once the dead prefix dominates.
-	if f.head > 64 && f.head*2 >= len(f.buf) {
-		n := copy(f.buf, f.buf[f.head:])
-		f.buf = f.buf[:n]
-		f.head = 0
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	// Right-size after a burst: once a ring grown past fifoMinCap is three
+	// quarters dead, halve it so incast spikes do not pin memory forever.
+	if len(f.buf) > fifoMinCap && f.n <= len(f.buf)/4 {
+		f.resize(len(f.buf) / 2)
 	}
 	return p
 }
 
-func (f *fifo) len() int { return len(f.buf) - f.head }
+// resize moves the live elements into a fresh buffer of capacity c >= n.
+func (f *fifo) resize(c int) {
+	nb := make([]*Packet, c)
+	for i := 0; i < f.n; i++ {
+		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = nb
+	f.head = 0
+}
 
-func (f *fifo) empty() bool { return f.len() == 0 }
+func (f *fifo) len() int { return f.n }
+
+func (f *fifo) empty() bool { return f.n == 0 }

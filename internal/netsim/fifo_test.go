@@ -1,0 +1,135 @@
+package netsim
+
+import "testing"
+
+// The ring must preserve FIFO order across wraparound: head chases tail
+// through the buffer, so pushes land at indices below head once wrapped.
+func TestFIFORingWraparound(t *testing.T) {
+	var f fifo
+	next, expect := int64(0), int64(0)
+	// Fill to just under one ring, then run a long push/pop phase that
+	// forces the head to wrap many times without ever resizing.
+	for i := 0; i < fifoMinCap-1; i++ {
+		f.push(&Packet{Seq: next})
+		next++
+	}
+	for i := 0; i < 10*fifoMinCap; i++ {
+		f.push(&Packet{Seq: next})
+		next++
+		p := f.pop()
+		if p == nil || p.Seq != expect {
+			t.Fatalf("pop %d: got %+v, want Seq %d", i, p, expect)
+		}
+		expect++
+	}
+	if f.len() != fifoMinCap-1 {
+		t.Fatalf("len = %d, want %d", f.len(), fifoMinCap-1)
+	}
+}
+
+// Pushing past capacity doubles the ring; the grow must preserve order when
+// the live region wraps around the end of the old buffer.
+func TestFIFOGrowPreservesWrappedOrder(t *testing.T) {
+	var f fifo
+	// Wrap the head partway around the ring.
+	for i := 0; i < fifoMinCap; i++ {
+		f.push(&Packet{Seq: int64(i)})
+	}
+	for i := 0; i < fifoMinCap/2; i++ {
+		f.pop()
+	}
+	// Fill beyond the old capacity so the wrapped region must relocate.
+	seq := int64(fifoMinCap)
+	for i := 0; i < fifoMinCap; i++ {
+		f.push(&Packet{Seq: seq})
+		seq++
+	}
+	for want := int64(fifoMinCap / 2); want < seq; want++ {
+		p := f.pop()
+		if p == nil || p.Seq != want {
+			t.Fatalf("got %+v, want Seq %d", p, want)
+		}
+	}
+}
+
+// After an incast burst drains, the ring must shrink back instead of
+// pinning the burst-sized buffer forever — and the shrink boundary must
+// not lose or reorder the packets still queued.
+func TestFIFOShrinkAfterBurst(t *testing.T) {
+	var f fifo
+	const burst = 64 * fifoMinCap
+	for i := 0; i < burst; i++ {
+		f.push(&Packet{Seq: int64(i)})
+	}
+	peak := cap(f.buf)
+	if peak < burst {
+		t.Fatalf("cap = %d after %d pushes", peak, burst)
+	}
+	for i := 0; i < burst; i++ {
+		p := f.pop()
+		if p == nil || p.Seq != int64(i) {
+			t.Fatalf("pop %d out of order during drain", i)
+		}
+	}
+	if got := cap(f.buf); got > fifoMinCap {
+		t.Fatalf("ring still holds %d slots after drain, want <= %d", got, fifoMinCap)
+	}
+	if !f.empty() || f.pop() != nil {
+		t.Fatal("fifo not empty after drain")
+	}
+}
+
+// Exact compaction boundary: the ring halves only once occupancy falls to a
+// quarter of capacity, so a queue hovering just above the boundary keeps
+// its buffer (no grow/shrink thrash).
+func TestFIFOShrinkBoundary(t *testing.T) {
+	var f fifo
+	const capNow = 4 * fifoMinCap
+	for i := 0; i < capNow; i++ {
+		f.push(&Packet{Seq: int64(i)})
+	}
+	if cap(f.buf) != capNow {
+		t.Fatalf("cap = %d, want %d", cap(f.buf), capNow)
+	}
+	// Drain to one past the boundary: n = cap/4 + 1 must keep the buffer.
+	for f.len() > capNow/4+1 {
+		f.pop()
+	}
+	if cap(f.buf) != capNow {
+		t.Fatalf("shrank at n = cap/4+1: cap = %d, want %d", cap(f.buf), capNow)
+	}
+	// One more pop hits n = cap/4 exactly: the ring must halve.
+	f.pop()
+	if cap(f.buf) != capNow/2 {
+		t.Fatalf("at n = cap/4: cap = %d, want %d", cap(f.buf), capNow/2)
+	}
+	// Remaining elements still come out in order.
+	want := int64(capNow) - int64(f.len())
+	for !f.empty() {
+		p := f.pop()
+		if p.Seq != want {
+			t.Fatalf("post-shrink pop Seq = %d, want %d", p.Seq, want)
+		}
+		want++
+	}
+}
+
+// A steady-state queue (occupancy oscillating within the minimum ring) must
+// never touch the allocator.
+func TestFIFOSteadyStateZeroAllocs(t *testing.T) {
+	var f fifo
+	p := &Packet{}
+	f.push(p)
+	f.pop() // allocate the initial ring
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < 8; i++ {
+			f.push(p)
+		}
+		for i := 0; i < 8; i++ {
+			f.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state fifo allocates %.1f per op, want 0", allocs)
+	}
+}

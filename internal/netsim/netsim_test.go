@@ -8,15 +8,17 @@ import (
 	"pet/internal/topo"
 )
 
-// collector is a test Endpoint recording delivered packets.
+// collector is a test Endpoint recording delivered packets. It copies each
+// packet: the network recycles the struct once Deliver returns, so retaining
+// the pointer would observe a reused packet.
 type collector struct {
-	pkts []*Packet
+	pkts []Packet
 	at   []sim.Time
 	eng  *sim.Engine
 }
 
 func (c *collector) Deliver(p *Packet) {
-	c.pkts = append(c.pkts, p)
+	c.pkts = append(c.pkts, *p)
 	c.at = append(c.at, c.eng.Now())
 }
 

@@ -64,6 +64,9 @@ type Network struct {
 
 	tm netMetrics
 
+	pool      packetPool
+	deliverFn func(any) // cached propagation callback; arg is the *Packet
+
 	dropsUnreachable uint64
 }
 
@@ -84,6 +87,10 @@ func New(eng *sim.Engine, g *topo.Graph, seed int64, cfg Config) *Network {
 		sbCfg:     cfg.SharedBuffer.withDefaults(),
 		sharedBuf: make(map[topo.NodeID]*sharedBufState),
 		tm:        newNetMetrics(cfg.Telemetry),
+	}
+	n.deliverFn = func(arg any) {
+		pkt := arg.(*Packet)
+		n.deliver(pkt.hopNode, pkt.hopLink, pkt)
 	}
 	saltStream := root.Split("ecmp")
 	for i := range n.salts {
@@ -166,8 +173,10 @@ func (n *Network) RegisterEndpoint(h topo.NodeID, ep Endpoint) {
 }
 
 // SendFromHost injects a packet at the host's NIC. The transport is
-// responsible for pacing; the NIC is a deep FIFO.
+// responsible for pacing; the NIC is a deep FIFO. Ownership of the packet
+// passes to the network, which recycles it once delivered or dropped.
 func (n *Network) SendFromHost(h topo.NodeID, pkt *Packet) {
+	pkt.assertLive("SendFromHost")
 	if pkt.SentAt == 0 {
 		pkt.SentAt = n.eng.Now()
 	}
@@ -175,12 +184,15 @@ func (n *Network) SendFromHost(h topo.NodeID, pkt *Packet) {
 }
 
 // deliver hands a packet arriving at `node` via `link` to the endpoint
-// (hosts) or the forwarding plane (switches).
+// (hosts) or the forwarding plane (switches). Delivery to a host is the end
+// of the packet's life: once the endpoint's Deliver returns, the packet is
+// released back to the pool, so endpoints must not retain it.
 func (n *Network) deliver(node topo.NodeID, via topo.LinkID, pkt *Packet) {
 	if n.g.Node(node).Kind == topo.Host {
 		if ep := n.endpoints[node]; ep != nil {
 			ep.Deliver(pkt)
 		}
+		n.releasePacket(pkt)
 		return
 	}
 	n.forward(node, via, pkt)
@@ -194,6 +206,7 @@ func (n *Network) forward(sw topo.NodeID, via topo.LinkID, pkt *Packet) {
 	if len(hops) == 0 {
 		n.dropsUnreachable++
 		n.tm.dropsNoRoute.Inc()
+		n.releasePacket(pkt)
 		return
 	}
 	idx := 0

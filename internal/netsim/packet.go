@@ -40,8 +40,12 @@ func (k PacketKind) String() string {
 	}
 }
 
-// Packet is one unit on the wire. Packets are created by transports and
-// owned by the network until delivered.
+// Packet is one unit on the wire. Packets are created by transports
+// (preferably via Network.NewPacket so structs recycle through the
+// per-network pool) and owned by the network until delivered or dropped, at
+// which point the network releases them back to the pool. Endpoints and
+// transmit taps must not retain a *Packet past their callback — copy the
+// fields that need to outlive it.
 type Packet struct {
 	Flow FlowID
 	Src  topo.NodeID
@@ -60,6 +64,15 @@ type Packet struct {
 	// arrivedVia is per-hop transient state: the ingress link at the
 	// switch currently holding the packet, for PFC attribution.
 	arrivedVia topo.LinkID
+
+	// hopNode/hopLink are in-flight transient state: the destination and
+	// link of the propagation leg currently carrying the packet. Storing
+	// them here lets the port schedule delivery through one long-lived
+	// callback instead of allocating a closure per hop.
+	hopNode topo.NodeID
+	hopLink topo.LinkID
+
+	poolState // debug lifecycle flag; empty unless built with -tags poolcheck
 }
 
 // Control reports whether the packet belongs on the strict-priority queue.

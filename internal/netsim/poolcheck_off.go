@@ -1,0 +1,11 @@
+//go:build !poolcheck
+
+package netsim
+
+// poolState is empty without -tags poolcheck: the lifecycle guards cost
+// nothing in production builds.
+type poolState struct{}
+
+func (p *Packet) markLive()         {}
+func (p *Packet) markReleased()     {}
+func (p *Packet) assertLive(string) {}

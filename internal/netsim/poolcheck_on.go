@@ -1,0 +1,32 @@
+//go:build poolcheck
+
+package netsim
+
+import "fmt"
+
+// poolState carries the debug lifecycle flag compiled in by -tags poolcheck.
+// Released packets are poisoned so reads through a stale pointer fail fast.
+type poolState struct {
+	released bool
+}
+
+// markLive flags the packet as owned by a live path.
+func (p *Packet) markLive() { p.released = false }
+
+// markReleased flags the packet as pool-owned and catches double release.
+func (p *Packet) markReleased() {
+	if p.released {
+		panic("netsim: double release of packet to pool")
+	}
+	p.released = true
+	// Poison the header so a use-after-release is loud rather than subtle.
+	p.Flow = ^FlowID(0)
+	p.Size = -1
+}
+
+// assertLive catches use of a packet after the network released it.
+func (p *Packet) assertLive(site string) {
+	if p.released {
+		panic(fmt.Sprintf("netsim: use of released packet at %s", site))
+	}
+}

@@ -1,0 +1,54 @@
+//go:build poolcheck
+
+package netsim
+
+import "testing"
+
+// These guards only exist with -tags poolcheck (run via `make test-pool`):
+// they turn ownership-protocol violations into immediate panics instead of
+// silent state corruption.
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	var pp packetPool
+	p := pp.get()
+	pp.put(p)
+	mustPanic(t, "double release", func() { pp.put(p) })
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	eng, ls, net := buildTiny(t, Config{})
+	h0, h1 := ls.Hosts[0], ls.Hosts[1]
+	net.RegisterEndpoint(h1, &collector{eng: eng})
+
+	pkt := net.NewPacket()
+	pkt.Flow, pkt.Src, pkt.Dst, pkt.Kind, pkt.Size = 1, h0, h1, Data, 1000
+	net.SendFromHost(h0, pkt)
+	eng.Run() // delivered: pkt now belongs to the pool again
+
+	mustPanic(t, "send of released packet", func() { net.SendFromHost(h0, pkt) })
+}
+
+func TestReleasePoisonsHeader(t *testing.T) {
+	var pp packetPool
+	p := pp.get()
+	p.Flow, p.Size = 9, 1000
+	pp.put(p)
+	if p.Size != -1 {
+		t.Fatalf("released packet not poisoned: Size = %d", p.Size)
+	}
+	// get() must clear the poison again.
+	q := pp.get()
+	if q.Size != 0 || q.Flow != 0 {
+		t.Fatalf("recycled packet not zeroed: %+v", *q)
+	}
+}

@@ -64,10 +64,11 @@ type Port struct {
 	busy    bool
 	paused  bool // PFC pause: data queues frozen, control still flows
 
-	rng    *rng.Stream
-	stats  PortStats
-	taps   []func(*Packet)
-	qGauge *telemetry.Gauge // live occupancy; non-nil only on telemetered switch ports
+	rng        *rng.Stream
+	stats      PortStats
+	taps       []func(*Packet)
+	qGauge     *telemetry.Gauge // live occupancy; non-nil only on telemetered switch ports
+	completeFn func(any)        // cached serialization callback; arg is the *Packet
 }
 
 func newPort(net *Network, owner topo.NodeID, link topo.LinkID, nQueues, bufCap int, ecn ECNConfig, r *rng.Stream) *Port {
@@ -79,6 +80,7 @@ func newPort(net *Network, owner topo.NodeID, link topo.LinkID, nQueues, bufCap 
 		bufCap:  bufCap,
 		rng:     r,
 	}
+	p.completeFn = func(arg any) { p.complete(arg.(*Packet)) }
 	p.queues = make([]dataQueue, nQueues)
 	for i := range p.queues {
 		p.queues[i].ecn = ecn
@@ -131,12 +133,16 @@ func (p *Port) OnTransmit(fn func(*Packet)) { p.taps = append(p.taps, fn) }
 
 // Enqueue admits a packet to the port and reports whether it was accepted.
 // Data packets pass the RED/ECN marker and may be tail-dropped on overflow;
-// control packets use the reserved strict-priority queue.
+// control packets use the reserved strict-priority queue. A rejected packet
+// is released back to the network's pool — drop sites are terminal points
+// of the packet lifecycle, so callers must not touch a rejected packet.
 func (p *Port) Enqueue(pkt *Packet) bool {
+	pkt.assertLive("Port.Enqueue")
 	if pkt.Control() {
 		if p.ctrl.len() >= p.ctrlCap {
 			p.stats.DropsOverflow++
 			p.net.tm.dropsOverflow.Inc()
+			p.net.releasePacket(pkt)
 			return false
 		}
 		p.ctrl.push(pkt)
@@ -145,11 +151,13 @@ func (p *Port) Enqueue(pkt *Packet) bool {
 		if dq.bytes+pkt.Size > p.bufCap {
 			p.stats.DropsOverflow++
 			p.net.tm.dropsOverflow.Inc()
+			p.net.releasePacket(pkt)
 			return false
 		}
 		if !p.net.sharedAdmit(p.owner, dq.bytes, pkt.Size) {
 			p.stats.DropsOverflow++
 			p.net.tm.dropsOverflow.Inc()
+			p.net.releasePacket(pkt)
 			return false
 		}
 		if pkt.ECT && p.rng.Bernoulli(dq.ecn.markProb(dq.bytes)) {
@@ -219,7 +227,7 @@ func (p *Port) kick() {
 	}
 	p.busy = true
 	tx := sim.TransmitTime(pkt.Size, p.Bandwidth())
-	p.net.eng.After(tx, func() { p.complete(pkt) })
+	p.net.eng.AfterArg(tx, p.completeFn, pkt)
 }
 
 // complete finishes serialization: update counters, fire taps, propagate the
@@ -246,11 +254,13 @@ func (p *Port) complete(pkt *Packet) {
 	}
 	link := p.net.g.Link(p.link)
 	if link.Up {
-		peer := link.Peer(p.owner)
-		p.net.eng.After(link.Delay, func() { p.net.deliver(peer, link.ID, pkt) })
+		pkt.hopNode = link.Peer(p.owner)
+		pkt.hopLink = link.ID
+		p.net.eng.AfterArg(link.Delay, p.net.deliverFn, pkt)
 	} else {
 		p.stats.DropsLinkDown++
 		p.net.tm.dropsLinkDown.Inc()
+		p.net.releasePacket(pkt)
 	}
 	p.kick()
 }

@@ -87,6 +87,13 @@ type Tanh struct {
 	dx  []float64
 }
 
+// NewTanh creates a tanh activation with scratch presized for width n, so
+// the first Forward does not allocate. The zero value also works, sizing
+// itself lazily on first use.
+func NewTanh(n int) *Tanh {
+	return &Tanh{out: make([]float64, n), dx: make([]float64, n)}
+}
+
 // Forward applies tanh elementwise.
 func (t *Tanh) Forward(x []float64) []float64 {
 	if len(t.out) != len(x) {
@@ -117,6 +124,12 @@ func (t *Tanh) Grads() [][]float64 { return nil }
 type ReLU struct {
 	in []float64
 	dx []float64
+}
+
+// NewReLU creates a ReLU activation with scratch presized for width n. The
+// zero value also works, sizing itself lazily on first use.
+func NewReLU(n int) *ReLU {
+	return &ReLU{in: make([]float64, n), dx: make([]float64, n)}
 }
 
 // Forward applies max(0, x) elementwise.

@@ -12,6 +12,11 @@ import (
 type MLP struct {
 	layers []Layer
 	sizes  []int
+
+	// Parameter/gradient groups are collected once at construction so the
+	// hot training loop (ZeroGrad, optimizers) never rebuilds the slices.
+	params [][]float64
+	grads  [][]float64
 }
 
 // Activation selects the hidden nonlinearity of NewMLP.
@@ -35,13 +40,17 @@ func NewMLP(sizes []int, act Activation, r *rng.Stream) *MLP {
 		if i < len(sizes)-2 {
 			switch act {
 			case ActTanh:
-				m.layers = append(m.layers, &Tanh{})
+				m.layers = append(m.layers, NewTanh(sizes[i+1]))
 			case ActReLU:
-				m.layers = append(m.layers, &ReLU{})
+				m.layers = append(m.layers, NewReLU(sizes[i+1]))
 			default:
 				panic("nn: unknown activation")
 			}
 		}
+	}
+	for _, l := range m.layers {
+		m.params = append(m.params, l.Params()...)
+		m.grads = append(m.grads, l.Grads()...)
 	}
 	return m
 }
@@ -67,23 +76,13 @@ func (m *MLP) Backward(dy []float64) []float64 {
 	return dy
 }
 
-// Params returns all parameter groups.
-func (m *MLP) Params() [][]float64 {
-	var out [][]float64
-	for _, l := range m.layers {
-		out = append(out, l.Params()...)
-	}
-	return out
-}
+// Params returns all parameter groups. The returned slice is owned by the
+// MLP and must not be modified (the float data may be, that is the point).
+func (m *MLP) Params() [][]float64 { return m.params }
 
-// Grads returns all gradient groups, aligned with Params.
-func (m *MLP) Grads() [][]float64 {
-	var out [][]float64
-	for _, l := range m.layers {
-		out = append(out, l.Grads()...)
-	}
-	return out
-}
+// Grads returns all gradient groups, aligned with Params. The returned
+// slice is owned by the MLP and must not be modified.
+func (m *MLP) Grads() [][]float64 { return m.grads }
 
 // ZeroGrad clears accumulated gradients.
 func (m *MLP) ZeroGrad() { zeroGroups(m.Grads()) }

@@ -1,0 +1,55 @@
+package ppo
+
+import (
+	"testing"
+
+	"pet/internal/rl"
+)
+
+// buildTraj fills a trajectory with deterministic synthetic transitions.
+func buildTraj(a *Agent, n int) *rl.Trajectory {
+	traj := &rl.Trajectory{}
+	for i := 0; i < n; i++ {
+		state := make([]float64, a.cfg.ObsDim)
+		for j := range state {
+			state[j] = float64((i+j)%7) * 0.1
+		}
+		actions, logp, value := a.Act(state, true)
+		traj.Add(rl.Transition{
+			State:   state,
+			Actions: actions,
+			LogProb: logp,
+			Value:   value,
+			Reward:  float64(i%5) - 2,
+		})
+	}
+	return traj
+}
+
+// After one warmup call sizes the scratch buffers, a full PPO update —
+// GAE, advantage normalization, epochs of minibatched forward/backward and
+// Adam steps — must not allocate.
+func TestAgentUpdateZeroAllocs(t *testing.T) {
+	a := New(Config{ObsDim: 12, Heads: []int{4, 4}, Hidden: []int{32, 32}}, 1)
+	traj := buildTraj(a, 64)
+	a.Update(traj, 0) // warm the batch scratch
+	allocs := testing.AllocsPerRun(5, func() { a.Update(traj, 0) })
+	if allocs != 0 {
+		t.Fatalf("Agent.Update allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// The MAPPO actor-only update shares the same scratch.
+func TestUpdateActorZeroAllocs(t *testing.T) {
+	a := New(Config{ObsDim: 12, Heads: []int{4, 4}, Hidden: []int{32, 32}}, 2)
+	traj := buildTraj(a, 64)
+	adv := make([]float64, traj.Len())
+	for i := range adv {
+		adv[i] = float64(i%3) - 1
+	}
+	a.UpdateActor(traj, adv) // warm the index scratch
+	allocs := testing.AllocsPerRun(5, func() { a.UpdateActor(traj, adv) })
+	if allocs != 0 {
+		t.Fatalf("Agent.UpdateActor allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -13,6 +13,7 @@ import (
 type Critic struct {
 	net *nn.MLP
 	opt *nn.Adam
+	dv  [1]float64 // output-gradient scratch for Fit
 }
 
 // NewCritic builds an obsDim → hidden… → 1 value network.
@@ -55,7 +56,8 @@ func (c *Critic) Fit(states [][]float64, returns []float64, minibatch int) float
 			v := c.net.Forward(states[i])[0]
 			diff := v - returns[i]
 			mse += diff * diff
-			c.net.Backward([]float64{2 * diff * invB})
+			c.dv[0] = 2 * diff * invB
+			c.net.Backward(c.dv[:])
 		}
 		c.opt.ClipGradNorm(0.5)
 		c.opt.Step()
@@ -75,7 +77,8 @@ func (a *Agent) UpdateActor(traj *rl.Trajectory, adv []float64) UpdateStats {
 		return UpdateStats{}
 	}
 	var stats UpdateStats
-	idx := make([]int, n)
+	a.growScratch(n)
+	idx := a.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}

@@ -85,10 +85,19 @@ type Agent struct {
 	tm      agentMetrics
 	updates int
 
-	// Scratch buffers.
+	// Scratch buffers. The per-head and trunk gradients are sized at
+	// construction; the per-update batch buffers grow to the largest
+	// trajectory seen and are reused so Update is allocation-free in
+	// steady state.
 	probs   [][]float64
 	dLogits [][]float64
 	dTrunk  []float64
+	dV      [1]float64 // critic output gradient, avoids a per-sample literal
+	rewards []float64
+	values  []float64
+	adv     []float64
+	returns []float64
+	idx     []int
 }
 
 // New creates an agent with freshly initialized networks.
@@ -228,17 +237,18 @@ func (a *Agent) Update(traj *rl.Trajectory, lastValue float64) UpdateStats {
 	if n == 0 {
 		return UpdateStats{}
 	}
-	rewards := make([]float64, n)
-	values := make([]float64, n)
+	a.growScratch(n)
+	rewards, values := a.rewards[:n], a.values[:n]
 	for i, s := range traj.Steps {
 		rewards[i] = s.Reward
 		values[i] = s.Value
 	}
-	adv, returns := rl.GAE(rewards, values, lastValue, a.cfg.Gamma, a.cfg.Lambda)
+	adv, returns := a.adv[:n], a.returns[:n]
+	rl.GAEInto(rewards, values, lastValue, a.cfg.Gamma, a.cfg.Lambda, adv, returns)
 	rl.NormalizeAdvantages(adv)
 
 	var stats UpdateStats
-	idx := make([]int, n)
+	idx := a.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -339,7 +349,8 @@ func (a *Agent) optimizeBatch(traj *rl.Trajectory, batch []int, adv, returns []f
 		v := a.critic.Forward(tr.State)[0]
 		diff := v - returns[i]
 		st.ValueLoss += diff * diff * invB
-		a.critic.Backward([]float64{2 * diff * invB})
+		a.dV[0] = 2 * diff * invB
+		a.critic.Backward(a.dV[:])
 	}
 	st.ClipFrac = float64(clipped) / float64(len(batch))
 	st.GradNorm = a.actorOpt.ClipGradNorm(a.cfg.MaxGradNorm)
@@ -368,6 +379,17 @@ func (a *Agent) optimizeActorBatch(traj *rl.Trajectory, batch []int, adv []float
 	st.GradNorm = a.actorOpt.ClipGradNorm(a.cfg.MaxGradNorm)
 	a.actorOpt.Step()
 	return st
+}
+
+// growScratch ensures the per-update batch buffers hold n entries.
+func (a *Agent) growScratch(n int) {
+	if cap(a.rewards) < n {
+		a.rewards = make([]float64, n)
+		a.values = make([]float64, n)
+		a.adv = make([]float64, n)
+		a.returns = make([]float64, n)
+		a.idx = make([]int, n)
+	}
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -39,11 +39,19 @@ func (t *Trajectory) Reset() { t.Steps = t.Steps[:0] }
 // returns the rewards-to-go R̂_t = Â_t + V(s_t) used as the critic target.
 func GAE(rewards, values []float64, lastValue, gamma, lambda float64) (adv, returns []float64) {
 	n := len(rewards)
-	if len(values) != n {
-		panic("rl: GAE rewards/values length mismatch")
-	}
 	adv = make([]float64, n)
 	returns = make([]float64, n)
+	GAEInto(rewards, values, lastValue, gamma, lambda, adv, returns)
+	return adv, returns
+}
+
+// GAEInto is GAE writing into caller-provided buffers, for update loops that
+// reuse scratch across calls. adv and returns must have len(rewards).
+func GAEInto(rewards, values []float64, lastValue, gamma, lambda float64, adv, returns []float64) {
+	n := len(rewards)
+	if len(values) != n || len(adv) != n || len(returns) != n {
+		panic("rl: GAE buffer length mismatch")
+	}
 	next := lastValue
 	running := 0.0
 	for t := n - 1; t >= 0; t-- {
@@ -53,7 +61,6 @@ func GAE(rewards, values []float64, lastValue, gamma, lambda float64) (adv, retu
 		returns[t] = adv[t] + values[t]
 		next = values[t]
 	}
-	return adv, returns
 }
 
 // NormalizeAdvantages standardizes advantages to zero mean and unit

@@ -4,27 +4,53 @@ import "container/heap"
 
 // An event is a callback scheduled at a virtual time. seq breaks ties so that
 // events scheduled first at the same instant run first (deterministic order).
+//
+// Event structs are pooled per engine: once an event fires or is cancelled it
+// returns to the engine's freelist and is reused by a later At/AtArg. The gen
+// counter makes stale Handles harmless — it is bumped every time the struct
+// is taken from the freelist, so a Handle created for an earlier lifetime no
+// longer matches and its Cancel/Cancelled degrade to no-ops.
 type event struct {
 	at        Time
 	seq       uint64
-	fn        func()
+	fn        func()    // one of fn / afn is set
+	afn       func(any) // arg-carrying form: afn(arg), closure-free hot path
+	arg       any
+	gen       uint64
 	cancelled bool
-	index     int // heap index, -1 once popped
+	index     int // heap index; -1 once popped, -2 while on the freelist
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event so it can be cancelled. A Handle is
+// only valid for the lifetime of the event it was created for: after the
+// event fires or is cancelled, the engine may recycle the underlying struct,
+// at which point the stale Handle's methods become no-ops.
+type Handle struct {
+	eng *Engine
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Cancel on a zero Handle is a no-op.
+// Cancel prevents the event from firing and removes it from the schedule
+// immediately, releasing the event (and the closure it pins) for reuse.
+// Cancelling an already-fired or already-cancelled event is a no-op, as is
+// Cancel on a zero Handle.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.cancelled = true
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
+		return
 	}
+	ev.cancelled = true
+	heap.Remove(&h.eng.events, ev.index)
+	h.eng.release(ev)
 }
 
-// Cancelled reports whether Cancel has been called on the event.
-func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
+// Cancelled reports whether Cancel has been called on the event. Once the
+// engine recycles the event struct for a new schedule, a stale Handle
+// reports false.
+func (h Handle) Cancelled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.cancelled
+}
 
 type eventHeap []*event
 
@@ -61,6 +87,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     Time
 	events  eventHeap
+	free    []*event // recycled event structs; steady state schedules allocation-free
 	seq     uint64
 	stopped bool
 	fired   uint64
@@ -72,23 +99,57 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of events waiting to fire (including cancelled
-// ones not yet discarded).
+// Pending returns the number of events waiting to fire. Cancelled events are
+// removed eagerly and never counted.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it is always a model bug, and silently reordering time corrupts results.
-func (e *Engine) At(t Time, fn func()) Handle {
+// alloc takes an event from the freelist, invalidating stale Handles via the
+// generation bump, or heap-allocates the pool's next struct.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.gen++
+		ev.cancelled = false
+		return ev
+	}
+	return &event{}
+}
+
+// release returns an event to the freelist. The cancelled flag is kept so
+// the Handle that cancelled it can still observe the outcome until the
+// struct is reused; callback and arg are dropped so they do not pin memory.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.index = -2
+	e.free = append(e.free, ev)
+}
+
+func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) Handle {
 	if t < e.now {
 		panic("sim: scheduling event in the past")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.afn = afn
+	ev.arg = arg
 	e.seq++
 	heap.Push(&e.events, ev)
-	return Handle{ev}
+	return Handle{eng: e, ev: ev, gen: ev.gen}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug, and silently reordering time corrupts results.
+func (e *Engine) At(t Time, fn func()) Handle {
+	return e.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time.
@@ -96,20 +157,46 @@ func (e *Engine) After(d Time, fn func()) Handle {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	return e.At(e.now+d, fn)
+	return e.schedule(e.now+d, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute time t. Unlike At, the callback and
+// its argument are stored separately, so hot paths can reuse one long-lived
+// func value instead of allocating a fresh closure per schedule. Passing a
+// pointer as arg does not allocate.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Handle {
+	return e.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) Handle {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.schedule(e.now+d, nil, fn, arg)
 }
 
 // Step runs the earliest pending event and returns true, or returns false if
-// no events remain. Cancelled events are discarded without running.
+// no events remain.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.cancelled {
+			// Cancel removes eagerly; this only guards legacy states.
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		// Copy the callback and recycle the struct before running it, so
+		// events scheduled by the callback can reuse it immediately.
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		e.release(ev)
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
 		return true
 	}
 	return false
@@ -145,14 +232,11 @@ func (e *Engine) Run() {
 // Stop makes the current Run or RunUntil return after the in-flight event.
 func (e *Engine) Stop() { e.stopped = true }
 
-// peek returns the earliest non-cancelled event without removing it,
-// discarding cancelled events from the top of the heap along the way.
+// peek returns the earliest pending event without removing it. Cancelled
+// events never reach the heap (Cancel removes eagerly), so the top is live.
 func (e *Engine) peek() *event {
-	for len(e.events) > 0 {
-		if ev := e.events[0]; !ev.cancelled {
-			return ev
-		}
-		heap.Pop(&e.events)
+	if len(e.events) > 0 {
+		return e.events[0]
 	}
 	return nil
 }

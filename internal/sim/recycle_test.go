@@ -1,0 +1,128 @@
+package sim
+
+import "testing"
+
+// Cancel must remove the event from the schedule eagerly, not leave it
+// flagged in the heap until its fire time (where it would pin its closure).
+func TestCancelRemovesEagerly(t *testing.T) {
+	e := NewEngine()
+	h1 := e.After(10*Second, func() {})
+	h2 := e.After(20*Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	h1.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after Cancel, want 1 (eager removal)", e.Pending())
+	}
+	h2.Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after both Cancels, want 0", e.Pending())
+	}
+	// Double-cancel and cancel-after-run stay safe no-ops.
+	h1.Cancel()
+	e.Run()
+	h2.Cancel()
+}
+
+// Cancelling a middle event must not disturb the firing order of the rest.
+func TestCancelMiddlePreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		i := i
+		hs = append(hs, e.At(Time(i+1)*Microsecond, func() { got = append(got, i) }))
+	}
+	hs[3].Cancel()
+	hs[7].Cancel()
+	e.Run()
+	want := []int{0, 1, 2, 4, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// A stale Handle — one whose event struct has been recycled for a newer
+// schedule — must not cancel the new occupant.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	h1 := e.After(Microsecond, func() {})
+	e.Run() // h1's event fires and returns to the freelist
+
+	fired := false
+	h2 := e.After(Microsecond, func() { fired = true }) // reuses the struct
+	h1.Cancel()                                         // stale: must be a no-op
+	if h1.Cancelled() {
+		t.Fatal("stale handle reports cancelled")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+	_ = h2
+}
+
+// Cancelling the handle of the event currently firing is a no-op (the event
+// already left the schedule).
+func TestCancelFromOwnCallback(t *testing.T) {
+	e := NewEngine()
+	var h Handle
+	ran := false
+	h = e.After(Microsecond, func() {
+		h.Cancel()
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if h.Cancelled() {
+		t.Fatal("self-cancel during fire marked the event cancelled")
+	}
+}
+
+// AtArg events interleave with At events in strict (time, seq) order.
+func TestArgEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	push := func(arg any) { got = append(got, arg.(int)) }
+	e.At(5*Microsecond, func() { got = append(got, 1) })
+	e.AtArg(5*Microsecond, push, 2)
+	e.At(5*Microsecond, func() { got = append(got, 3) })
+	e.AtArg(4*Microsecond, push, 0)
+	e.Run()
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// The freelist must actually recycle: a long schedule/fire churn should not
+// grow the pool beyond the peak number of simultaneously pending events.
+func TestFreelistBounded(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 10_000 {
+			e.After(Nanosecond, tick)
+		}
+	}
+	e.After(Nanosecond, tick)
+	e.Run()
+	if n != 10_000 {
+		t.Fatalf("ran %d events, want 10000", n)
+	}
+	if got := len(e.free); got > 2 {
+		t.Fatalf("freelist holds %d events after sequential churn, want <= 2", got)
+	}
+}

@@ -7,6 +7,7 @@ type Ticker struct {
 	eng     *Engine
 	period  Time
 	fn      func(now Time)
+	tick    func(any) // cached so re-arming never allocates a new closure
 	handle  Handle
 	stopped bool
 	ticks   uint64
@@ -19,12 +20,7 @@ func NewTicker(eng *Engine, period Time, fn func(now Time)) *Ticker {
 		panic("sim: non-positive ticker period")
 	}
 	t := &Ticker{eng: eng, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.handle = t.eng.After(t.period, func() {
+	t.tick = func(any) {
 		if t.stopped {
 			return
 		}
@@ -33,7 +29,13 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.eng.AfterArg(t.period, t.tick, nil)
 }
 
 // Stop cancels future ticks. Safe to call multiple times, including from
