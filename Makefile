@@ -1,13 +1,23 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-smoke bench-json test-chaos test-pool ci
+.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json test-chaos test-pool ci
 
 build:
 	$(GO) build ./...
 
+# Examples are main packages; building them explicitly keeps the
+# README-facing code honest.
+build-examples:
+	$(GO) build ./examples/...
+
 test:
 	$(GO) test ./...
+
+# CLI tier: the petsim golden tests (-list-schemes/-list-transports output,
+# error exit codes) — the registry surface users script against.
+test-cli:
+	$(GO) test -run 'Golden|ExitsNonZero|ShortRun' ./cmd/petsim/
 
 # Race tier: the rollout fleet (internal/fleet) runs worker goroutines that
 # each own a full simulation; this catches any shared state leaking between
@@ -55,4 +65,4 @@ bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkSimulatorPacketForwarding|BenchmarkPPOInference|BenchmarkPPOUpdate' -benchmem . \
 		| $(GO) run ./cmd/benchjson -label after -out BENCH_hotpath.json
 
-ci: build vet lint test test-pool race test-chaos
+ci: build build-examples vet lint test test-cli test-pool race test-chaos

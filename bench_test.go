@@ -40,6 +40,23 @@ func logTables(b *testing.B, i int, tables ...*pet.Table) {
 	}
 }
 
+// logTable and logTableSet adapt the error-returning experiment methods.
+func logTable(b *testing.B, i int, tb *pet.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	logTables(b, i, tb)
+}
+
+func logTableSet(b *testing.B, i int, tbs []*pet.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	logTables(b, i, tbs...)
+}
+
 func BenchmarkFig3TrafficCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := benchRunner().Fig3()
@@ -50,91 +67,104 @@ func BenchmarkFig3TrafficCDF(b *testing.B) {
 func BenchmarkFig4FCTWebSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.Fig4()...)
+		tbs, err := r.Fig4()
+		logTableSet(b, i, tbs, err)
 	}
 }
 
 func BenchmarkFig5FCTWorkloads(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.Fig5()...)
+		tbs, err := r.Fig5()
+		logTableSet(b, i, tbs, err)
 	}
 }
 
 func BenchmarkTable1QueueLength(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.Table1())
+		tb, err := r.Table1()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkFig6PatternSwitch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.Fig6()...)
+		tbs, err := r.Fig6()
+		logTableSet(b, i, tbs, err)
 	}
 }
 
 func BenchmarkFig7LinkFailure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.Fig7())
+		tb, err := r.Fig7()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkFig8Latency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.Fig8())
+		tb, err := r.Fig8()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkFig9StateAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.Fig9())
+		tb, err := r.Fig9()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkAblationGlobalReplayOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.AblationReplayOverhead())
+		tb, err := r.AblationReplayOverhead()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkAblationHistoryK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.AblationHistoryK())
+		tb, err := r.AblationHistoryK()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkAblationRewardBeta(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.AblationRewardBeta())
+		tb, err := r.AblationRewardBeta()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkAblationCTDE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.AblationCTDE())
+		tb, err := r.AblationCTDE()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkAblationTransportCompat(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.TransportCompat())
+		tb, err := r.TransportCompat()
+		logTable(b, i, tb, err)
 	}
 }
 
 func BenchmarkAblationDynamicBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		logTables(b, i, r.DynamicBaselines())
+		tb, err := r.DynamicBaselines()
+		logTable(b, i, tb, err)
 	}
 }
 
@@ -173,13 +203,16 @@ func BenchmarkPretrainFleet(b *testing.B) {
 // through the fabric with a static scheme (no learning in the loop).
 func BenchmarkSimulatorPacketForwarding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := pet.Run(pet.Scenario{
+		res, err := pet.Run(pet.Scenario{
 			Scheme:   pet.SchemeSECN1,
 			Load:     0.7,
 			Warmup:   2 * pet.Millisecond,
 			Duration: 20 * pet.Millisecond,
 			Seed:     int64(i + 1),
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.FlowsDone == 0 {
 			b.Fatal("no flows completed")
 		}

@@ -6,6 +6,7 @@
 //	petbench -exp fig4,table1         # a subset
 //	petbench -exp fig4 -topo small    # bigger fabric, slower
 //	petbench -quick                   # fast smoke pass
+//	petbench -list-schemes            # registered scheme names
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 overhead historyk beta
 package main
@@ -29,8 +30,22 @@ func main() {
 		loads  = flag.String("loads", "0.3,0.5,0.7", "comma-separated offered loads")
 		quick  = flag.Bool("quick", false, "shrink training and measurement windows")
 		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		listS  = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
+		listT  = flag.Bool("list-transports", false, "print the registered transport names and exit")
 	)
 	flag.Parse()
+	if *listS {
+		for _, name := range pet.SchemeNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listT {
+		for _, name := range pet.TransportNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
@@ -68,25 +83,34 @@ func main() {
 		r.Duration = 15 * pet.Millisecond
 	}
 
+	one := func(f func() (*pet.Table, error)) func() ([]*pet.Table, error) {
+		return func() ([]*pet.Table, error) {
+			t, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return []*pet.Table{t}, nil
+		}
+	}
 	type experiment struct {
 		name string
-		run  func() []*pet.Table
+		run  func() ([]*pet.Table, error)
 	}
 	catalog := []experiment{
-		{"fig3", func() []*pet.Table { return []*pet.Table{r.Fig3()} }},
+		{"fig3", func() ([]*pet.Table, error) { return []*pet.Table{r.Fig3()}, nil }},
 		{"fig4", r.Fig4},
 		{"fig5", r.Fig5},
 		{"fig6", r.Fig6},
-		{"fig7", func() []*pet.Table { return []*pet.Table{r.Fig7()} }},
-		{"fig8", func() []*pet.Table { return []*pet.Table{r.Fig8()} }},
-		{"fig9", func() []*pet.Table { return []*pet.Table{r.Fig9()} }},
-		{"table1", func() []*pet.Table { return []*pet.Table{r.Table1()} }},
-		{"overhead", func() []*pet.Table { return []*pet.Table{r.AblationReplayOverhead()} }},
-		{"historyk", func() []*pet.Table { return []*pet.Table{r.AblationHistoryK()} }},
-		{"beta", func() []*pet.Table { return []*pet.Table{r.AblationRewardBeta()} }},
-		{"dynamic", func() []*pet.Table { return []*pet.Table{r.DynamicBaselines()} }},
-		{"ctde", func() []*pet.Table { return []*pet.Table{r.AblationCTDE()} }},
-		{"compat", func() []*pet.Table { return []*pet.Table{r.TransportCompat()} }},
+		{"fig7", one(r.Fig7)},
+		{"fig8", one(r.Fig8)},
+		{"fig9", one(r.Fig9)},
+		{"table1", one(r.Table1)},
+		{"overhead", one(r.AblationReplayOverhead)},
+		{"historyk", one(r.AblationHistoryK)},
+		{"beta", one(r.AblationRewardBeta)},
+		{"dynamic", one(r.DynamicBaselines)},
+		{"ctde", one(r.AblationCTDE)},
+		{"compat", one(r.TransportCompat)},
 	}
 
 	want := map[string]bool{}
@@ -111,7 +135,12 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		for i, tb := range e.run() {
+		tables, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "petbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		for i, tb := range tables {
 			fmt.Println(tb)
 			if *csvDir != "" {
 				path := fmt.Sprintf("%s/%s_%d.csv", *csvDir, e.name, i)

@@ -5,11 +5,14 @@
 //	petsim -scheme PET -load 0.6 -workload websearch -train
 //	petsim -scheme SECN1 -topo small -duration 100ms
 //	petsim -scheme PET -models pet.model      # offline-trained weights
+//	petsim -scheme PET -transport dctcp       # window-based end hosts
+//	petsim -list-schemes                      # registered scheme names
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -17,21 +20,49 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("petsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		schemeF = flag.String("scheme", "PET", "PET | PET-ablated | ACC | SECN1 | SECN2")
-		topoF   = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
-		wlF     = flag.String("workload", "websearch", "websearch | datamining")
-		load    = flag.Float64("load", 0.6, "offered load fraction (0,1]")
-		incast  = flag.Float64("incast", 0.2, "fraction of load delivered as incast groups")
-		fanIn   = flag.Int("fanin", 3, "senders per incast group")
-		train   = flag.Bool("train", true, "online incremental training (learned schemes)")
-		models  = flag.String("models", "", "PET model bundle from pettrain")
-		warmup  = flag.Duration("warmup", 20*time.Millisecond, "simulated warmup before measurement")
-		dur     = flag.Duration("duration", 60*time.Millisecond, "simulated measurement window")
-		seed    = flag.Int64("seed", 1, "root random seed")
-		traceF  = flag.String("trace", "", "write an event trace CSV to this path")
+		schemeF    = fs.String("scheme", "PET", "registered scheme name (see -list-schemes)")
+		transportF = fs.String("transport", "dcqcn", "registered end-host transport (see -list-transports)")
+		topoF      = fs.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		wlF        = fs.String("workload", "websearch", "websearch | datamining")
+		load       = fs.Float64("load", 0.6, "offered load fraction (0,1]")
+		incast     = fs.Float64("incast", 0.2, "fraction of load delivered as incast groups")
+		fanIn      = fs.Int("fanin", 3, "senders per incast group")
+		train      = fs.Bool("train", true, "online incremental training (learned schemes)")
+		models     = fs.String("models", "", "PET model bundle from pettrain")
+		warmup     = fs.Duration("warmup", 20*time.Millisecond, "simulated warmup before measurement")
+		dur        = fs.Duration("duration", 60*time.Millisecond, "simulated measurement window")
+		seed       = fs.Int64("seed", 1, "root random seed")
+		traceF     = fs.String("trace", "", "write an event trace CSV to this path")
+		listS      = fs.Bool("list-schemes", false, "print the registered scheme names and exit")
+		listT      = fs.Bool("list-transports", false, "print the registered transport names and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listS {
+		for _, name := range pet.SchemeNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+	if *listT {
+		for _, name := range pet.TransportNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+
+	fatalf := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "petsim: "+format+"\n", args...)
+		return 2
+	}
 
 	s := pet.Scenario{
 		Seed:           *seed,
@@ -39,6 +70,7 @@ func main() {
 		IncastFraction: *incast,
 		IncastFanIn:    *fanIn,
 		Scheme:         pet.Scheme(*schemeF),
+		Transport:      pet.TransportKind(*transportF),
 		Train:          *train,
 		Warmup:         pet.Time(warmup.Nanoseconds()) * pet.Nanosecond,
 		Duration:       pet.Time(dur.Nanoseconds()) * pet.Nanosecond,
@@ -51,7 +83,7 @@ func main() {
 	case "paper":
 		s.Topo = pet.PaperScale()
 	default:
-		fatalf("unknown topo %q", *topoF)
+		return fatalf("unknown topo %q", *topoF)
 	}
 	switch *wlF {
 	case "websearch":
@@ -61,56 +93,55 @@ func main() {
 		s.Workload = pet.DataMining()
 		s.Beta1, s.Beta2 = 0.7, 0.3
 	default:
-		fatalf("unknown workload %q", *wlF)
+		return fatalf("unknown workload %q", *wlF)
 	}
 	if *models != "" {
 		data, err := os.ReadFile(*models)
 		if err != nil {
-			fatalf("reading models: %v", err)
+			return fatalf("reading models: %v", err)
 		}
 		s.Models = data
 	}
 
 	s.Trace = *traceF != ""
 	start := time.Now()
-	env := pet.NewEnv(s)
+	env, err := pet.NewEnv(s)
+	if err != nil {
+		return fatalf("%v", err)
+	}
 	res := env.Run()
 	wall := time.Since(start)
 	if *traceF != "" {
 		f, err := os.Create(*traceF)
 		if err != nil {
-			fatalf("creating trace: %v", err)
+			return fatalf("creating trace: %v", err)
 		}
 		if err := env.Trace.WriteCSV(f); err != nil {
-			fatalf("writing trace: %v", err)
+			return fatalf("writing trace: %v", err)
 		}
 		if err := f.Close(); err != nil {
-			fatalf("closing trace: %v", err)
+			return fatalf("closing trace: %v", err)
 		}
-		fmt.Printf("trace       %d events -> %s\n", env.Trace.Len(), *traceF)
+		fmt.Fprintf(stdout, "trace       %d events -> %s\n", env.Trace.Len(), *traceF)
 	}
 
-	fmt.Printf("scheme      %s  (%s, load %.0f%%, %s)\n", res.Scheme, *wlF, *load*100, *topoF)
-	fmt.Printf("flows done  %d   drops %d\n", res.FlowsDone, res.Drops)
-	fmt.Printf("normalized FCT (slowdown):\n")
-	fmt.Printf("  overall        avg %8.2f   p99 %8.2f   (n=%d)\n",
+	fmt.Fprintf(stdout, "scheme      %s  (%s, load %.0f%%, %s)\n", res.Scheme, *wlF, *load*100, *topoF)
+	fmt.Fprintf(stdout, "flows done  %d   drops %d\n", res.FlowsDone, res.Drops)
+	fmt.Fprintf(stdout, "normalized FCT (slowdown):\n")
+	fmt.Fprintf(stdout, "  overall        avg %8.2f   p99 %8.2f   (n=%d)\n",
 		res.Overall.AvgSlowdown, res.Overall.P99Slowdown, res.Overall.N)
-	fmt.Printf("  mice <=100KB   avg %8.2f   p99 %8.2f   (n=%d)\n",
+	fmt.Fprintf(stdout, "  mice <=100KB   avg %8.2f   p99 %8.2f   (n=%d)\n",
 		res.MiceBkt.AvgSlowdown, res.MiceBkt.P99Slowdown, res.MiceBkt.N)
-	fmt.Printf("  elephant>=10MB avg %8.2f   p99 %8.2f   (n=%d)\n",
+	fmt.Fprintf(stdout, "  elephant>=10MB avg %8.2f   p99 %8.2f   (n=%d)\n",
 		res.Elephant.AvgSlowdown, res.Elephant.P99Slowdown, res.Elephant.N)
-	fmt.Printf("  incast flows   avg %8.2f   p99 %8.2f   (n=%d)\n",
+	fmt.Fprintf(stdout, "  incast flows   avg %8.2f   p99 %8.2f   (n=%d)\n",
 		res.Incast.AvgSlowdown, res.Incast.P99Slowdown, res.Incast.N)
-	fmt.Printf("latency     avg %.1fus   p99 %.1fus\n", res.LatencyAvgUs, res.LatencyP99Us)
-	fmt.Printf("queue       avg %.1fKB   var %.1fKB\n", res.QueueAvgKB, res.QueueVarKB)
-	if res.ReplayBytesExchanged > 0 {
-		fmt.Printf("replay      %d bytes exchanged, %d bytes resident\n",
-			res.ReplayBytesExchanged, res.ReplayMemoryBytes)
+	fmt.Fprintf(stdout, "latency     avg %.1fus   p99 %.1fus\n", res.LatencyAvgUs, res.LatencyP99Us)
+	fmt.Fprintf(stdout, "queue       avg %.1fKB   var %.1fKB\n", res.QueueAvgKB, res.QueueVarKB)
+	if rb := res.Overhead[pet.OverheadReplayBytes]; rb > 0 {
+		fmt.Fprintf(stdout, "replay      %d bytes exchanged, %d bytes resident\n",
+			rb, res.Overhead[pet.OverheadReplayMemory])
 	}
-	fmt.Printf("wall clock  %v\n", wall.Round(time.Millisecond))
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "petsim: "+format+"\n", args...)
-	os.Exit(2)
+	fmt.Fprintf(stdout, "wall clock  %v\n", wall.Round(time.Millisecond))
+	return 0
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestListSchemesGolden pins the -list-schemes output: one sorted name per
+// line, nothing else. Anything new that registers against the default
+// import graph must update this list deliberately.
+func TestListSchemesGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list-schemes"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	want := "ACC\nAMT\nPET\nPET-CTDE\nPET-ablated\nQAECN\nSECN1\nSECN2\n"
+	if out.String() != want {
+		t.Fatalf("-list-schemes = %q, want %q", out.String(), want)
+	}
+}
+
+func TestListTransportsGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list-transports"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	want := "dcqcn\ndctcp\n"
+	if out.String() != want {
+		t.Fatalf("-list-transports = %q, want %q", out.String(), want)
+	}
+}
+
+func TestUnknownSchemeExitsNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-scheme", "bogus", "-duration", "1ms", "-warmup", "1ms"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown scheme "bogus"`) {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty on failure: %q", out.String())
+	}
+}
+
+func TestUnknownTransportExitsNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-transport", "pigeon", "-duration", "1ms", "-warmup", "1ms"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown transport "pigeon"`) {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+// TestShortRunPrintsStats drives a tiny real simulation through the CLI
+// entry point end to end.
+func TestShortRunPrintsStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-scheme", "SECN1", "-warmup", "2ms", "-duration", "5ms"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"scheme      SECN1", "flows done", "normalized FCT", "wall clock"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -75,8 +75,22 @@ func main() {
 		telemetryF = flag.String("telemetry", "", "serve live metrics on this address (e.g. :8080): /metrics, /snapshot, /debug/pprof")
 		traceCSV   = flag.String("tracecsv", "", "write per-round telemetry as CSV to this file")
 		quiet      = flag.Bool("q", false, "suppress per-round progress on stderr")
+		listS      = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
+		listT      = flag.Bool("list-transports", false, "print the registered transport names and exit")
 	)
 	flag.Parse()
+	if *listS {
+		for _, name := range pet.SchemeNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listT {
+		for _, name := range pet.TransportNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	s := pet.Scenario{Seed: *seed, Load: *load, IncastFraction: 0.2, IncastFanIn: 3}
 	switch *topoF {

@@ -9,13 +9,16 @@ import (
 // ExampleRun shows the one-call experiment API: run a PET-controlled
 // scenario and read its FCT buckets.
 func ExampleRun() {
-	res := pet.Run(pet.Scenario{
+	res, err := pet.Run(pet.Scenario{
 		Scheme:   pet.SchemePET,
 		Train:    true,
 		Load:     0.5,
 		Warmup:   10 * pet.Millisecond,
 		Duration: 20 * pet.Millisecond,
 	})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("flows: %v, mice avg slowdown > 1: %v\n",
 		res.FlowsDone > 0, res.MiceBkt.AvgSlowdown >= 1)
 	// Output: flows: true, mice avg slowdown > 1: true

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"pet"
 )
@@ -24,7 +25,7 @@ func main() {
 		{"throughput-leaning (paper's DM setting)", 0.7, 0.3},
 		{"latency-leaning (paper's WS setting)", 0.3, 0.7},
 	} {
-		res := pet.Run(pet.Scenario{
+		res, err := pet.Run(pet.Scenario{
 			Scheme:   pet.SchemePET,
 			Train:    true,
 			Workload: pet.DataMining(),
@@ -34,6 +35,9 @@ func main() {
 			Warmup:   30 * pet.Millisecond,
 			Duration: 60 * pet.Millisecond,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("β1/β2 = %.1f/%.1f  (%s)\n", v.beta1, v.beta2, v.name)
 		fmt.Printf("  overall nFCT %6.2f   mice avg %6.2f   queue avg %5.1f KB   flows %d\n\n",
 			res.Overall.AvgSlowdown, res.MiceBkt.AvgSlowdown, res.QueueAvgKB, res.FlowsDone)

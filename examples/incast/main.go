@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"pet"
 )
@@ -17,7 +18,7 @@ func main() {
 	fmt.Println()
 
 	for _, scheme := range []pet.Scheme{pet.SchemePET, pet.SchemeSECN2} {
-		env := pet.NewEnv(pet.Scenario{
+		env, err := pet.NewEnv(pet.Scenario{
 			Scheme:         scheme,
 			Train:          true,
 			Load:           0.5,
@@ -26,14 +27,17 @@ func main() {
 			Warmup:         15 * pet.Millisecond,
 			Duration:       40 * pet.Millisecond,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		res := env.Run()
 		fmt.Printf("%-6s  incast nFCT avg %6.2f  p99 %6.2f   queue avg %5.1f KB  drops %d\n",
 			scheme, res.Incast.AvgSlowdown, res.Incast.P99Slowdown, res.QueueAvgKB, res.Drops)
 
-		if env.PET != nil {
+		if ctl, ok := env.Control.(*pet.Controller); ok {
 			// Peek into one agent's monitor: flow-table occupancy and the
 			// configuration its policy converged to.
-			a := env.PET.Agents()[0]
+			a := ctl.Agents()[0]
 			cur := a.CurrentECN()
 			fmt.Printf("        PET agent on switch %d: %d tuning steps, ECN Kmin=%dKB Kmax=%dKB Pmax=%.0f%%\n",
 				a.Switch, a.Steps(), cur.KminBytes>>10, cur.KmaxBytes>>10, cur.Pmax*100)

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"pet"
 )
@@ -16,7 +17,7 @@ func main() {
 	fmt.Println()
 
 	var failed []pet.Time // not link IDs — just to show timing in output
-	res := pet.Run(pet.Scenario{
+	res, err := pet.Run(pet.Scenario{
 		Scheme:         pet.SchemePET,
 		Train:          true,
 		Load:           0.6,
@@ -39,6 +40,9 @@ func main() {
 			}},
 		},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println()
 	fmt.Println("overall normalized FCT per 10ms window (relative to measurement start):")

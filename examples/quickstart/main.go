@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"pet"
 )
@@ -15,7 +16,7 @@ func main() {
 	fmt.Println()
 
 	for _, scheme := range []pet.Scheme{pet.SchemePET, pet.SchemeSECN1} {
-		res := pet.Run(pet.Scenario{
+		res, err := pet.Run(pet.Scenario{
 			Scheme:         scheme,
 			Train:          true, // online incremental training (PET only)
 			Load:           0.6,
@@ -24,6 +25,9 @@ func main() {
 			Warmup:         20 * pet.Millisecond,
 			Duration:       40 * pet.Millisecond,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-6s  overall nFCT %6.2f   mice avg %6.2f   mice p99 %6.2f   queue %5.1f KB\n",
 			res.Scheme, res.Overall.AvgSlowdown, res.MiceBkt.AvgSlowdown,
 			res.MiceBkt.P99Slowdown, res.QueueAvgKB)

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"pet"
 )
@@ -19,11 +20,14 @@ func main() {
 	// Offline phase: pre-train PET once on a representative load. Learned
 	// policies are budget-sensitive: the full harness (cmd/petbench) uses
 	// 300 ms of simulated training; shrink this to trade fidelity for time.
-	models := pet.PretrainPET(pet.Scenario{
+	models, err := pet.PretrainPET(pet.Scenario{
 		Load:           0.6,
 		IncastFraction: 0.2,
 		IncastFanIn:    3,
 	}, 200*pet.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("pre-trained PET model bundle: %d bytes\n\n", len(models))
 
 	loads := []float64{0.3, 0.5, 0.7}
@@ -48,7 +52,10 @@ func main() {
 			if scheme == pet.SchemePET {
 				s.Models = models // deploy the offline-trained bundle
 			}
-			res := pet.Run(s)
+			res, err := pet.Run(s)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  %6.2f", res.MiceBkt.AvgSlowdown)
 		}
 		fmt.Println()

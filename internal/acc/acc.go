@@ -44,6 +44,10 @@ type Config struct {
 	Omega2    float64 // delay reward weight, default 0.7
 	QrefBytes float64 // default 20 KiB
 
+	// ExplicitWeights marks Omega1/Omega2 as deliberately set, suppressing
+	// the (0.3, 0.7) default even when both are zero.
+	ExplicitWeights bool
+
 	Train        bool
 	GlobalReplay bool        // ACC's published design; false isolates replay per agent
 	ReplayCap    int         // default 10000
@@ -86,7 +90,7 @@ func (c Config) withDefaults() Config {
 	if c.QueueSampleDiv == 0 {
 		c.QueueSampleDiv = 8
 	}
-	if c.Omega1 == 0 && c.Omega2 == 0 {
+	if !c.ExplicitWeights && c.Omega1 == 0 && c.Omega2 == 0 {
 		c.Omega1, c.Omega2 = 0.3, 0.7
 	}
 	if c.QrefBytes == 0 {

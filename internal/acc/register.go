@@ -1,0 +1,31 @@
+package acc
+
+import "pet/internal/bench"
+
+// Plug the ACC baseline into the bench scheme registry.
+
+func init() {
+	bench.RegisterScheme(bench.SchemeACC, func(e *bench.Env) (bench.ControlScheme, error) {
+		s := e.Scenario
+		return NewController(e.Net, Config{
+			Alpha:           bench.ControlAlpha,
+			Interval:        bench.ControlInterval,
+			Omega1:          s.Beta1,
+			Omega2:          s.Beta2,
+			ExplicitWeights: true, // bench.Scenario owns reward-weight defaulting
+			Train:           s.Train,
+			GlobalReplay:    true,
+			Seed:            s.Seed,
+			OnApply:         e.RecordECNChange,
+		}), nil
+	})
+}
+
+// Overhead implements bench.ControlScheme, metering the global-replay
+// gossip volume and resident footprint PET's independent learning avoids.
+func (c *Controller) Overhead() map[string]int64 {
+	return map[string]int64{
+		bench.OverheadReplayBytes:  c.BytesExchanged(),
+		bench.OverheadReplayMemory: c.ReplayMemoryBytes(),
+	}
+}

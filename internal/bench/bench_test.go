@@ -1,4 +1,4 @@
-package bench
+package bench_test
 
 import (
 	"bytes"
@@ -11,13 +11,22 @@ import (
 	"pet/internal/stats"
 	"testing"
 
+	"pet/internal/bench"
 	"pet/internal/sim"
 	"pet/internal/workload"
+
+	// Register every scheme and transport the harness tests exercise.
+	_ "pet/internal/acc"
+	_ "pet/internal/core"
+	_ "pet/internal/dcqcn"
+	_ "pet/internal/dctcp"
+	_ "pet/internal/dynecn"
+	_ "pet/internal/staticecn"
 )
 
 // quickRunner keeps harness tests fast: short windows, one load.
-func quickRunner() *Runner {
-	r := NewRunner()
+func quickRunner() *bench.Runner {
+	r := bench.NewRunner()
 	r.Loads = []float64{0.5}
 	r.TrainTime = 5 * sim.Millisecond
 	r.Warmup = 5 * sim.Millisecond
@@ -26,7 +35,7 @@ func quickRunner() *Runner {
 }
 
 func TestTableRendering(t *testing.T) {
-	tb := &Table{Title: "T", Columns: []string{"a", "bbbb"}}
+	tb := &bench.Table{Title: "T", Columns: []string{"a", "bbbb"}}
 	tb.AddRow("x", "1")
 	tb.AddRow("longer", "2")
 	tb.Note("note %d", 7)
@@ -39,12 +48,15 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestRunStaticSchemeProducesStats(t *testing.T) {
-	res := Run(Scenario{
-		Scheme:   SchemeSECN1,
+	res, err := bench.Run(bench.Scenario{
+		Scheme:   bench.SchemeSECN1,
 		Load:     0.5,
 		Warmup:   5 * sim.Millisecond,
 		Duration: 15 * sim.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FlowsDone == 0 {
 		t.Fatal("no flows completed")
 	}
@@ -57,38 +69,44 @@ func TestRunStaticSchemeProducesStats(t *testing.T) {
 	if res.QueueAvgKB < 0 {
 		t.Fatalf("queue avg %v", res.QueueAvgKB)
 	}
-	if res.ReplayBytesExchanged != 0 {
+	if res.Overhead[bench.OverheadReplayBytes] != 0 {
 		t.Fatal("static scheme reported replay exchange")
 	}
 }
 
 func TestRunPETAndACCSchemes(t *testing.T) {
-	for _, scheme := range []Scheme{SchemePET, SchemePETAblated, SchemeACC, SchemeAMT, SchemeQAECN} {
-		res := Run(Scenario{
+	for _, scheme := range []bench.Scheme{bench.SchemePET, bench.SchemePETAblated, bench.SchemeACC, bench.SchemeAMT, bench.SchemeQAECN} {
+		res, err := bench.Run(bench.Scenario{
 			Scheme:   scheme,
 			Train:    true,
 			Load:     0.5,
 			Warmup:   5 * sim.Millisecond,
 			Duration: 10 * sim.Millisecond,
 		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
 		if res.FlowsDone == 0 {
 			t.Fatalf("%s: no flows completed", scheme)
 		}
-		if scheme == SchemeACC && res.ReplayBytesExchanged == 0 {
+		if scheme == bench.SchemeACC && res.Overhead[bench.OverheadReplayBytes] == 0 {
 			t.Fatal("ACC global replay idle")
 		}
 	}
 }
 
 func TestDCTCPTransportScenario(t *testing.T) {
-	res := Run(Scenario{
-		Scheme:    SchemePET,
+	res, err := bench.Run(bench.Scenario{
+		Scheme:    bench.SchemePET,
 		Train:     true,
-		Transport: TransportDCTCP,
+		Transport: bench.TransportDCTCP,
 		Load:      0.5,
 		Warmup:    5 * sim.Millisecond,
 		Duration:  15 * sim.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FlowsDone == 0 {
 		t.Fatal("no flows completed over DCTCP")
 	}
@@ -101,35 +119,44 @@ func TestDCTCPTransportScenario(t *testing.T) {
 }
 
 func TestRunCTDEScheme(t *testing.T) {
-	res := Run(Scenario{
-		Scheme:             SchemePETCTDE,
+	res, err := bench.Run(bench.Scenario{
+		Scheme:             bench.SchemePETCTDE,
 		Train:              true,
 		TrainDuringMeasure: true,
 		Load:               0.5,
 		Warmup:             5 * sim.Millisecond,
 		Duration:           10 * sim.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FlowsDone == 0 {
 		t.Fatal("no flows under CTDE")
 	}
-	if res.CentralBytesCollected == 0 {
+	if res.Overhead[bench.OverheadCentralBytes] == 0 {
 		t.Fatal("CTDE observation shipping not metered")
 	}
 }
 
 func TestPretrainedModelsLoadable(t *testing.T) {
-	models := PretrainPET(Scenario{Load: 0.5}, 5*sim.Millisecond)
+	models, err := bench.PretrainPET(bench.Scenario{Load: 0.5}, 5*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(models) == 0 {
 		t.Fatal("empty model bundle")
 	}
-	res := Run(Scenario{
-		Scheme:   SchemePET,
+	res, err := bench.Run(bench.Scenario{
+		Scheme:   bench.SchemePET,
 		Models:   models,
 		Train:    true,
 		Load:     0.5,
 		Warmup:   2 * sim.Millisecond,
 		Duration: 8 * sim.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FlowsDone == 0 {
 		t.Fatal("pretrained run produced no flows")
 	}
@@ -137,40 +164,46 @@ func TestPretrainedModelsLoadable(t *testing.T) {
 
 func TestEventsFire(t *testing.T) {
 	fired := false
-	Run(Scenario{
-		Scheme:   SchemeSECN1,
+	_, err := bench.Run(bench.Scenario{
+		Scheme:   bench.SchemeSECN1,
 		Load:     0.3,
 		Warmup:   2 * sim.Millisecond,
 		Duration: 6 * sim.Millisecond,
-		Events: []Event{{
+		Events: []bench.Event{{
 			At: 4 * sim.Millisecond,
-			Do: func(e *Env) {
+			Do: func(e *bench.Env) {
 				fired = true
 				e.Gen.SetWorkload(workload.DataMining(), 0.3)
 			},
 		}},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !fired {
 		t.Fatal("event did not fire")
 	}
 }
 
 func TestLinkFailureEventDisruptsAndRecovers(t *testing.T) {
-	res := Run(Scenario{
-		Scheme:       SchemeSECN1,
+	res, err := bench.Run(bench.Scenario{
+		Scheme:       bench.SchemeSECN1,
 		Load:         0.4,
 		Warmup:       2 * sim.Millisecond,
 		Duration:     20 * sim.Millisecond,
 		SeriesWindow: 2 * sim.Millisecond,
-		Events: []Event{
-			{At: 6 * sim.Millisecond, Do: func(e *Env) {
-				e.Net.SetLinksUp(pickFabricLinks(e, 0.3), false)
+		Events: []bench.Event{
+			{At: 6 * sim.Millisecond, Do: func(e *bench.Env) {
+				e.Net.SetLinksUp(bench.PickFabricLinks(e, 0.3), false)
 			}},
-			{At: 12 * sim.Millisecond, Do: func(e *Env) {
-				e.Net.SetLinksUp(pickFabricLinks(e, 0.3), true)
+			{At: 12 * sim.Millisecond, Do: func(e *bench.Env) {
+				e.Net.SetLinksUp(bench.PickFabricLinks(e, 0.3), true)
 			}},
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FlowsDone == 0 {
 		t.Fatal("no flows after failure/recovery")
 	}
@@ -182,16 +215,20 @@ func TestLinkFailureEventDisruptsAndRecovers(t *testing.T) {
 func TestRunnerCachesRuns(t *testing.T) {
 	r := quickRunner()
 	ws := workload.WebSearch()
-	r.run(SchemeSECN1, ws, 0.5)
-	n := len(r.cache)
-	r.run(SchemeSECN1, ws, 0.5)
-	if len(r.cache) != n {
+	if _, err := r.RunOne(bench.SchemeSECN1, ws, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	n := r.CacheSize()
+	if _, err := r.RunOne(bench.SchemeSECN1, ws, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheSize() != n {
 		t.Fatal("cache miss on repeat run")
 	}
 }
 
 func TestFig3Table(t *testing.T) {
-	tb := NewRunner().Fig3()
+	tb := bench.NewRunner().Fig3()
 	if len(tb.Rows) != 8 {
 		t.Fatalf("Fig3 rows = %d", len(tb.Rows))
 	}
@@ -203,18 +240,24 @@ func TestFig3Table(t *testing.T) {
 
 func TestFig9AblationTable(t *testing.T) {
 	r := quickRunner()
-	tb := r.Fig9()
+	tb, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 2 {
 		t.Fatalf("Fig9 rows = %d", len(tb.Rows))
 	}
-	if tb.Rows[0][0] != string(SchemePET) || tb.Rows[1][0] != string(SchemePETAblated) {
+	if tb.Rows[0][0] != string(bench.SchemePET) || tb.Rows[1][0] != string(bench.SchemePETAblated) {
 		t.Fatalf("Fig9 schemes = %v / %v", tb.Rows[0][0], tb.Rows[1][0])
 	}
 }
 
 func TestTable1Shape(t *testing.T) {
 	r := quickRunner()
-	tb := r.Table1()
+	tb, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.Rows) != 2 || len(tb.Columns) != 5 {
 		t.Fatalf("Table1 shape: %d rows × %d cols", len(tb.Rows), len(tb.Columns))
 	}
@@ -225,7 +268,10 @@ func TestTable1Shape(t *testing.T) {
 
 func TestAblationReplayOverheadTable(t *testing.T) {
 	r := quickRunner()
-	tb := r.AblationReplayOverhead()
+	tb, err := r.AblationReplayOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tb.Rows[0][1] != "0" {
 		t.Fatalf("PET exchange = %s, want 0", tb.Rows[0][1])
 	}
@@ -235,7 +281,7 @@ func TestAblationReplayOverheadTable(t *testing.T) {
 }
 
 func TestTableCSV(t *testing.T) {
-	tb := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tb := &bench.Table{Title: "T", Columns: []string{"a", "b"}}
 	tb.AddRow("x", "1,5") // embedded comma must be quoted
 	tb.Note("n")
 	csv := tb.CSV()
@@ -248,12 +294,15 @@ func TestTableCSV(t *testing.T) {
 func TestIdealPathDelaySlowdownsAtLeastOne(t *testing.T) {
 	// On an idle fabric every completed flow must have slowdown ≥ ~1
 	// (small pacing slack allowed), for both intra- and cross-leaf pairs.
-	env := NewEnv(Scenario{
-		Scheme:   SchemeSECN1,
+	env, err := bench.NewEnv(bench.Scenario{
+		Scheme:   bench.SchemeSECN1,
 		Load:     0.05, // nearly idle
 		Warmup:   2 * sim.Millisecond,
 		Duration: 30 * sim.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res := env.Run()
 	if res.FlowsDone == 0 {
 		t.Fatal("no flows")
@@ -266,14 +315,17 @@ func TestIdealPathDelaySlowdownsAtLeastOne(t *testing.T) {
 }
 
 func TestTraceCollection(t *testing.T) {
-	env := NewEnv(Scenario{
-		Scheme:   SchemePET,
+	env, err := bench.NewEnv(bench.Scenario{
+		Scheme:   bench.SchemePET,
 		Train:    true,
 		Load:     0.4,
 		Warmup:   2 * sim.Millisecond,
 		Duration: 6 * sim.Millisecond,
 		Trace:    true,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	env.Run()
 	if env.Trace.Len() == 0 {
 		t.Fatal("no trace events recorded")
@@ -290,13 +342,13 @@ func TestTraceCollection(t *testing.T) {
 }
 
 func TestPretrainEpisodeDeterministicAndChains(t *testing.T) {
-	s := Scenario{Load: 0.4}
+	s := bench.Scenario{Load: 0.4}
 	ctx := context.Background()
-	a, err := PretrainEpisode(ctx, s, 3*sim.Millisecond, 7, nil)
+	a, err := bench.PretrainEpisode(ctx, s, 3*sim.Millisecond, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := PretrainEpisode(ctx, s, 3*sim.Millisecond, 7, nil)
+	b, err := bench.PretrainEpisode(ctx, s, 3*sim.Millisecond, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,31 +359,31 @@ func TestPretrainEpisodeDeterministicAndChains(t *testing.T) {
 		t.Fatalf("mean reward = %v", a.MeanReward)
 	}
 	// Episodes chain: a later episode starts from the earlier weights.
-	if _, err := PretrainEpisode(ctx, s, 3*sim.Millisecond, 8, a.Models); err != nil {
+	if _, err := bench.PretrainEpisode(ctx, s, 3*sim.Millisecond, 8, a.Models); err != nil {
 		t.Fatalf("chained episode: %v", err)
 	}
 	// A corrupt base bundle is an error, not a panic.
-	if _, err := PretrainEpisode(ctx, s, 3*sim.Millisecond, 8, []byte("junk")); err == nil {
+	if _, err := bench.PretrainEpisode(ctx, s, 3*sim.Millisecond, 8, []byte("junk")); err == nil {
 		t.Fatal("junk base models accepted")
 	}
 }
 
 func TestPretrainEpisodeCancellation(t *testing.T) {
-	s := Scenario{Load: 0.4}
+	s := bench.Scenario{Load: 0.4}
 	// A pre-cancelled context fails fast with a typed, matchable error.
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := PretrainEpisode(cancelled, s, 3*sim.Millisecond, 7, nil)
+	_, err := bench.PretrainEpisode(cancelled, s, 3*sim.Millisecond, 7, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled episode err = %v, want context.Canceled", err)
 	}
 	// A nil context behaves as Background and must match the explicit one
 	// byte for byte — cancellation plumbing is observation-only.
-	a, err := PretrainEpisode(nil, s, 3*sim.Millisecond, 7, nil) //nolint:staticcheck // nil ctx is part of the contract
+	a, err := bench.PretrainEpisode(nil, s, 3*sim.Millisecond, 7, nil) //nolint:staticcheck // nil ctx is part of the contract
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := PretrainEpisode(context.Background(), s, 3*sim.Millisecond, 7, nil)
+	b, err := bench.PretrainEpisode(context.Background(), s, 3*sim.Millisecond, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,14 +395,17 @@ func TestPretrainEpisodeCancellation(t *testing.T) {
 func TestEpisodeTraceCSVRoundTrip(t *testing.T) {
 	// Export a real episode's trace and re-parse it: every recorded event
 	// must come back, in insertion order with nondecreasing timestamps.
-	env := NewEnv(Scenario{
-		Scheme:   SchemePET,
+	env, err := bench.NewEnv(bench.Scenario{
+		Scheme:   bench.SchemePET,
 		Train:    true,
 		Load:     0.4,
 		Warmup:   2 * sim.Millisecond,
 		Duration: 6 * sim.Millisecond,
 		Trace:    true,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	env.Run()
 	if env.Trace.Len() == 0 {
 		t.Fatal("no trace events recorded")
@@ -393,9 +448,9 @@ func TestEpisodeTraceCSVRoundTrip(t *testing.T) {
 }
 
 func TestMergeResultsSkipsEmptyBuckets(t *testing.T) {
-	a := Result{Overall: stats.Summary{N: 10, AvgSlowdown: 4}, Elephant: stats.Summary{N: 2, AvgSlowdown: 2}}
-	b := Result{Overall: stats.Summary{N: 8, AvgSlowdown: 6}, Elephant: stats.Summary{}} // no elephants this seed
-	m := mergeResults([]Result{a, b})
+	a := bench.Result{Overall: stats.Summary{N: 10, AvgSlowdown: 4}, Elephant: stats.Summary{N: 2, AvgSlowdown: 2}}
+	b := bench.Result{Overall: stats.Summary{N: 8, AvgSlowdown: 6}, Elephant: stats.Summary{}} // no elephants this seed
+	m := bench.MergeResults([]bench.Result{a, b})
 	if m.Overall.AvgSlowdown != 5 {
 		t.Fatalf("overall merged = %v, want 5", m.Overall.AvgSlowdown)
 	}
@@ -407,17 +462,8 @@ func TestMergeResultsSkipsEmptyBuckets(t *testing.T) {
 		t.Fatalf("counts = %d/%d", m.Elephant.N, m.Overall.N)
 	}
 	// All-empty bucket merges to zero.
-	c := mergeResults([]Result{{}, {}})
+	c := bench.MergeResults([]bench.Result{{}, {}})
 	if c.Elephant.AvgSlowdown != 0 {
 		t.Fatalf("all-empty merge = %v", c.Elephant.AvgSlowdown)
 	}
-}
-
-func TestUnknownSchemePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown scheme accepted")
-		}
-	}()
-	Run(Scenario{Scheme: "nope"})
 }

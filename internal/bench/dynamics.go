@@ -22,19 +22,25 @@ func (r *Runner) dynamicDuration() sim.Time { return 12 * r.Duration / 6 } // 2Ã
 // receives the scheme's actual warmup end so that perturbations land at the
 // same offsets into the measurement window for every scheme (ACC's warmup
 // is extended by its online-only training time).
-func (r *Runner) seriesRun(scheme Scheme, mkEvents func(w sim.Time) []Event, window sim.Time, key string) Result {
+func (r *Runner) seriesRun(scheme Scheme, mkEvents func(w sim.Time) []Event, window sim.Time, key string) (Result, error) {
 	cacheKey := "series/" + key + "/" + string(scheme)
 	if res, ok := r.cache[cacheKey]; ok {
-		return res
+		return res, nil
 	}
-	s := r.scenario(scheme, workload.WebSearch(), 0.6)
+	s, err := r.scenario(scheme, workload.WebSearch(), 0.6)
+	if err != nil {
+		return Result{}, err
+	}
 	s.Duration = r.dynamicDuration()
 	s.SeriesWindow = window
 	s.TrainDuringMeasure = true // live adaptation is what Fig. 6/7 measure
 	s.Events = mkEvents(s.Warmup)
-	res := Run(s)
+	res, err := Run(s)
+	if err != nil {
+		return Result{}, err
+	}
 	r.cache[cacheKey] = res
-	return res
+	return res, nil
 }
 
 // seriesTable renders one named series (mice/elephant/all) for a scheme set.
@@ -83,7 +89,7 @@ func seriesTable(title, series string, schemes []Scheme, results []Result, windo
 // abruptly switches WebSearch â†’ DataMining â†’ WebSearch â†’ DataMining, and
 // the per-window average normalized FCT traces how fast each learned
 // scheme re-converges.
-func (r *Runner) Fig6() []*Table {
+func (r *Runner) Fig6() ([]*Table, error) {
 	dur := r.dynamicDuration()
 	mkEvents := func(w sim.Time) []Event {
 		return []Event{
@@ -96,20 +102,24 @@ func (r *Runner) Fig6() []*Table {
 	schemes := []Scheme{SchemePET, SchemeACC}
 	var results []Result
 	for _, s := range schemes {
-		results = append(results, r.seriesRun(s, mkEvents, window, "fig6"))
+		res, err := r.seriesRun(s, mkEvents, window, "fig6")
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
 	}
 	ta := seriesTable("Fig. 6(a) â€” pattern switching, elephant avg normalized FCT over time",
 		"elephant", schemes, results, window)
 	tb := seriesTable("Fig. 6(b) â€” pattern switching, mice avg normalized FCT over time",
 		"mice", schemes, results, window)
 	ta.Note("workload switches at t=%v, %v and %v", dur*4/12, dur*8/12, dur*9/12)
-	return []*Table{ta, tb}
+	return []*Table{ta, tb}, nil
 }
 
 // Fig7 reproduces the robustness experiment: ~10%% of fabric links fail
 // partway through and are restored later; the series shows degradation and
 // recovery.
-func (r *Runner) Fig7() *Table {
+func (r *Runner) Fig7() (*Table, error) {
 	dur := r.dynamicDuration()
 	failOff := dur * 3 / 12
 	restoreOff := dur * 6 / 12
@@ -129,12 +139,16 @@ func (r *Runner) Fig7() *Table {
 	schemes := []Scheme{SchemePET, SchemeACC}
 	var results []Result
 	for _, s := range schemes {
-		results = append(results, r.seriesRun(s, mkEvents, window, "fig7"))
+		res, err := r.seriesRun(s, mkEvents, window, "fig7")
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
 	}
 	t := seriesTable("Fig. 7 â€” link failure robustness, overall avg normalized FCT over time",
 		"all", schemes, results, window)
 	t.Note("10%% of switch-switch links fail at t=%v, restored at t=%v", failOff, restoreOff)
-	return t
+	return t, nil
 }
 
 // pickFabricLinks deterministically selects ceil(fracÂ·N) switch-switch links.
@@ -152,23 +166,29 @@ func pickFabricLinks(e *Env, frac float64) []topo.LinkID {
 
 // AblationReplayOverhead quantifies Goal 3: ACC's global-replay gossip and
 // memory versus PET's zero exchange.
-func (r *Runner) AblationReplayOverhead() *Table {
+func (r *Runner) AblationReplayOverhead() (*Table, error) {
 	ws := workload.WebSearch()
-	pet := r.run(SchemePET, ws, 0.6)
-	accRes := r.run(SchemeACC, ws, 0.6)
+	pet, err := r.run(SchemePET, ws, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	accRes, err := r.run(SchemeACC, ws, 0.6)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Ablation â€” learning-overhead comparison at 60% load",
 		Columns: []string{"metric", "PET (IPPO)", "ACC (DDQN + global replay)"},
 	}
-	t.AddRow("replay bytes exchanged", "0", fmt.Sprintf("%d", accRes.ReplayBytesExchanged))
-	t.AddRow("replay memory (bytes)", "0", fmt.Sprintf("%d", accRes.ReplayMemoryBytes))
+	t.AddRow("replay bytes exchanged", "0", fmt.Sprintf("%d", accRes.Overhead[OverheadReplayBytes]))
+	t.AddRow("replay memory (bytes)", "0", fmt.Sprintf("%d", accRes.Overhead[OverheadReplayMemory]))
 	t.AddRow("overall avg normalized FCT", f2(pet.Overall.AvgSlowdown), f2(accRes.Overall.AvgSlowdown))
 	t.Note("IPPO learns on local trajectories only; DDQN gossips every transition to every other switch")
-	return t
+	return t, nil
 }
 
 // AblationHistoryK probes sensitivity to the k-slot state history (Eq. 3).
-func (r *Runner) AblationHistoryK() *Table {
+func (r *Runner) AblationHistoryK() (*Table, error) {
 	t := &Table{
 		Title:   "Ablation â€” PET state history depth k",
 		Columns: []string{"k", "overall avg nFCT", "mice avg nFCT", "mice p99 nFCT"},
@@ -177,42 +197,50 @@ func (r *Runner) AblationHistoryK() *Table {
 		key := fmt.Sprintf("historyk/%d", k)
 		res, ok := r.cache[key]
 		if !ok {
-			s := r.scenario(SchemePET, workload.WebSearch(), 0.6)
+			s, err := r.scenario(SchemePET, workload.WebSearch(), 0.6)
+			if err != nil {
+				return nil, err
+			}
 			s.HistoryK = k
 			s.Models = nil // architecture differs per k; train online from scratch
 			s.Warmup += r.TrainTime
-			res = Run(s)
+			if res, err = Run(s); err != nil {
+				return nil, err
+			}
 			r.cache[key] = res
 		}
 		t.AddRow(fmt.Sprintf("%d", k),
 			f2(res.Overall.AvgSlowdown), f2(res.MiceBkt.AvgSlowdown), f2(res.MiceBkt.P99Slowdown))
 	}
-	return t
+	return t, nil
 }
 
 // DynamicBaselines compares PET against the rule-based dynamic tuners of
 // the related work (AMT, QAECN) alongside the paper's comparison set â€” the
 // three generations of ECN tuning (static â†’ dynamic â†’ learned) side by side.
-func (r *Runner) DynamicBaselines() *Table {
+func (r *Runner) DynamicBaselines() (*Table, error) {
 	t := &Table{
 		Title:   "Extra â€” static vs dynamic vs learned ECN tuning (WebSearch)",
 		Columns: []string{"scheme", "overall avg nFCT", "mice avg nFCT", "mice p99 nFCT", "queue avg KB"},
 	}
 	ws := workload.WebSearch()
 	for _, scheme := range []Scheme{SchemeSECN1, SchemeSECN2, SchemeAMT, SchemeQAECN, SchemeACC, SchemePET} {
-		res := r.run(scheme, ws, 0.6)
+		res, err := r.run(scheme, ws, 0.6)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(string(scheme),
 			f2(res.Overall.AvgSlowdown), f2(res.MiceBkt.AvgSlowdown),
 			f2(res.MiceBkt.P99Slowdown), f1(res.QueueAvgKB))
 	}
 	t.Note("AMT follows link utilization, QAECN follows instantaneous queue length (Sec. 2.2)")
-	return t
+	return t, nil
 }
 
 // TransportCompat exercises the paper's compatibility claim: PET tunes
 // switch-side thresholds only, so it works unchanged whether the servers
 // run rate-based DCQCN (RDMA) or window-based DCTCP (TCP).
-func (r *Runner) TransportCompat() *Table {
+func (r *Runner) TransportCompat() (*Table, error) {
 	t := &Table{
 		Title:   "Extra â€” PET across end-host transports (WebSearch @60%)",
 		Columns: []string{"transport", "scheme", "overall avg nFCT", "mice avg nFCT", "queue avg KB"},
@@ -223,14 +251,21 @@ func (r *Runner) TransportCompat() *Table {
 			key := fmt.Sprintf("compat/%s/%s", tk, scheme)
 			res, ok := r.cache[key]
 			if !ok {
-				s := r.scenario(scheme, ws, 0.6)
+				s, err := r.scenario(scheme, ws, 0.6)
+				if err != nil {
+					return nil, err
+				}
 				s.Transport = tk
 				if scheme == SchemePET {
 					// Models trained under DCQCN deploy unchanged on the
 					// DCTCP fabric â€” the compatibility claim itself.
-					s.Models = r.pretrained(SchemePET, ws)
+					if s.Models, err = r.pretrained(SchemePET, ws); err != nil {
+						return nil, err
+					}
 				}
-				res = Run(s)
+				if res, err = Run(s); err != nil {
+					return nil, err
+				}
 				r.cache[key] = res
 			}
 			t.AddRow(string(tk), string(scheme),
@@ -238,24 +273,32 @@ func (r *Runner) TransportCompat() *Table {
 		}
 	}
 	t.Note("PET's DCQCN-pretrained models run as-is on DCTCP hosts (no server-side changes)")
-	return t
+	return t, nil
 }
 
 // AblationCTDE measures the DTDE-vs-CTDE trade-off of Sec. 4.1.2: MAPPO's
 // centralized critic needs every switch's observation shipped to a trainer
 // every interval, while IPPO's agents stay local.
-func (r *Runner) AblationCTDE() *Table {
+func (r *Runner) AblationCTDE() (*Table, error) {
 	ws := workload.WebSearch()
-	dtde := r.run(SchemePET, ws, 0.6)
+	dtde, err := r.run(SchemePET, ws, 0.6)
+	if err != nil {
+		return nil, err
+	}
 
 	key := "ctde/0.6"
 	ctde, ok := r.cache[key]
 	if !ok {
-		s := r.scenario(SchemePETCTDE, ws, 0.6)
+		s, err := r.scenario(SchemePETCTDE, ws, 0.6)
+		if err != nil {
+			return nil, err
+		}
 		s.Train = true
 		s.Models = nil
 		s.Warmup += r.TrainTime // no pretrained bundle format for CTDE
-		ctde = Run(s)
+		if ctde, err = Run(s); err != nil {
+			return nil, err
+		}
 		r.cache[key] = ctde
 	}
 	t := &Table{
@@ -264,15 +307,15 @@ func (r *Runner) AblationCTDE() *Table {
 	}
 	t.AddRow("overall avg normalized FCT", f2(dtde.Overall.AvgSlowdown), f2(ctde.Overall.AvgSlowdown))
 	t.AddRow("mice avg normalized FCT", f2(dtde.MiceBkt.AvgSlowdown), f2(ctde.MiceBkt.AvgSlowdown))
-	t.AddRow("observation bytes shipped", "0", fmt.Sprintf("%d", ctde.CentralBytesCollected))
+	t.AddRow("observation bytes shipped", "0", fmt.Sprintf("%d", ctde.Overhead[OverheadCentralBytes]))
 	t.Note("CTDE ships every agent's state to a central trainer each Î”t (Sec. 4.1.2's bandwidth objection)")
-	return t
+	return t, nil
 }
 
 // AblationRewardBeta contrasts the paper's two reward weightings: the
 // latency-leaning Web Search setting and the throughput-leaning Data
 // Mining setting, both evaluated on the WebSearch workload.
-func (r *Runner) AblationRewardBeta() *Table {
+func (r *Runner) AblationRewardBeta() (*Table, error) {
 	t := &Table{
 		Title:   "Ablation â€” reward weights Î²1/Î²2 (WebSearch @60%)",
 		Columns: []string{"Î²1/Î²2", "mice avg nFCT", "elephant avg nFCT", "queue avg KB"},
@@ -281,16 +324,22 @@ func (r *Runner) AblationRewardBeta() *Table {
 		key := fmt.Sprintf("beta/%.1f", b[0])
 		res, ok := r.cache[key]
 		if !ok {
-			s := r.scenario(SchemePET, workload.WebSearch(), 0.6)
+			s, err := r.scenario(SchemePET, workload.WebSearch(), 0.6)
+			if err != nil {
+				return nil, err
+			}
 			s.Beta1, s.Beta2 = b[0], b[1]
+			s.ExplicitBetas = true
 			s.Models = nil
 			s.Warmup += r.TrainTime
-			res = Run(s)
+			if res, err = Run(s); err != nil {
+				return nil, err
+			}
 			r.cache[key] = res
 		}
 		t.AddRow(fmt.Sprintf("%.1f/%.1f", b[0], b[1]),
 			f2(res.MiceBkt.AvgSlowdown), f2(res.Elephant.AvgSlowdown), f1(res.QueueAvgKB))
 	}
 	t.Note("larger Î²2 favors short queues (mice latency); larger Î²1 favors throughput")
-	return t
+	return t, nil
 }

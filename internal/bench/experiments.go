@@ -59,7 +59,7 @@ func betas(wl *workload.CDF) (b1, b2 float64) {
 }
 
 // scenario builds the canonical scenario for one (scheme, workload, load).
-func (r *Runner) scenario(scheme Scheme, wl *workload.CDF, load float64) Scenario {
+func (r *Runner) scenario(scheme Scheme, wl *workload.CDF, load float64) (Scenario, error) {
 	b1, b2 := betas(wl)
 	s := Scenario{
 		Topo:           r.Topo,
@@ -77,25 +77,29 @@ func (r *Runner) scenario(scheme Scheme, wl *workload.CDF, load float64) Scenari
 	switch scheme {
 	case SchemePET, SchemePETAblated:
 		s.Train = true
-		s.Models = r.pretrained(scheme, wl)
+		m, err := r.pretrained(scheme, wl)
+		if err != nil {
+			return Scenario{}, err
+		}
+		s.Models = m
 	case SchemeACC:
 		s.Train = true
 		// ACC trains online only; granting it the same total training time
 		// as PET's pretrain+warmup keeps the comparison fair.
 		s.Warmup += r.TrainTime
 	}
-	return s
+	return s, nil
 }
 
 // pretrained returns (building on demand) the offline-trained PET models
 // for a workload — the hybrid training pipeline of Sec. 4.4.
-func (r *Runner) pretrained(scheme Scheme, wl *workload.CDF) []byte {
+func (r *Runner) pretrained(scheme Scheme, wl *workload.CDF) ([]byte, error) {
 	key := string(scheme) + "/" + wl.Name()
 	if m, ok := r.petModels[key]; ok {
-		return m
+		return m, nil
 	}
 	b1, b2 := betas(wl)
-	m := PretrainPET(Scenario{
+	m, err := PretrainPET(Scenario{
 		Topo:           r.Topo,
 		Seed:           r.Seed + 1000,
 		Workload:       wl,
@@ -106,16 +110,19 @@ func (r *Runner) pretrained(scheme Scheme, wl *workload.CDF) []byte {
 		Beta1:          b1,
 		Beta2:          b2,
 	}, r.TrainTime)
+	if err != nil {
+		return nil, err
+	}
 	r.petModels[key] = m
-	return m
+	return m, nil
 }
 
 // run executes (or recalls) the canonical run for a combination, averaging
 // across r.Seeds independent seeds.
-func (r *Runner) run(scheme Scheme, wl *workload.CDF, load float64) Result {
+func (r *Runner) run(scheme Scheme, wl *workload.CDF, load float64) (Result, error) {
 	key := fmt.Sprintf("%s/%s/%.2f", scheme, wl.Name(), load)
 	if res, ok := r.cache[key]; ok {
-		return res
+		return res, nil
 	}
 	n := r.Seeds
 	if n < 1 {
@@ -123,17 +130,25 @@ func (r *Runner) run(scheme Scheme, wl *workload.CDF, load float64) Result {
 	}
 	results := make([]Result, 0, n)
 	for i := 0; i < n; i++ {
-		s := r.scenario(scheme, wl, load)
+		s, err := r.scenario(scheme, wl, load)
+		if err != nil {
+			return Result{}, err
+		}
 		s.Seed = r.Seed + int64(i)*7919
-		results = append(results, Run(s))
+		res, err := Run(s)
+		if err != nil {
+			return Result{}, err
+		}
+		results = append(results, res)
 	}
 	res := mergeResults(results)
 	r.cache[key] = res
-	return res
+	return res, nil
 }
 
 // mergeResults averages scalar metrics across seeds (P99s are averaged
-// per-seed P99s); counters are summed; the first seed's series is kept.
+// per-seed P99s); counters are summed; overhead counters are averaged
+// per-seed; the first seed's series is kept.
 func mergeResults(rs []Result) Result {
 	if len(rs) == 1 {
 		return rs[0]
@@ -177,7 +192,7 @@ func mergeResults(rs []Result) Result {
 	var latA, latP, qA, qV float64
 	var flows int
 	var drops uint64
-	var rb, rm, cb int64
+	overhead := map[string]int64{}
 	for i := range rs {
 		latA += rs[i].LatencyAvgUs
 		latP += rs[i].LatencyP99Us
@@ -185,9 +200,9 @@ func mergeResults(rs []Result) Result {
 		qV += rs[i].QueueVarKB
 		flows += rs[i].FlowsDone
 		drops += rs[i].Drops
-		rb += rs[i].ReplayBytesExchanged
-		rm += rs[i].ReplayMemoryBytes
-		cb += rs[i].CentralBytesCollected
+		for name, v := range rs[i].Overhead {
+			overhead[name] += v
+		}
 	}
 	k := float64(len(rs))
 	out.LatencyAvgUs = latA / k
@@ -196,9 +211,13 @@ func mergeResults(rs []Result) Result {
 	out.QueueVarKB = qV / k
 	out.FlowsDone = flows
 	out.Drops = drops
-	out.ReplayBytesExchanged = rb / int64(len(rs))
-	out.ReplayMemoryBytes = rm / int64(len(rs))
-	out.CentralBytesCollected = cb / int64(len(rs))
+	out.Overhead = nil
+	if len(overhead) > 0 {
+		for name := range overhead {
+			overhead[name] /= int64(len(rs))
+		}
+		out.Overhead = overhead
+	}
 	return out
 }
 
@@ -230,47 +249,67 @@ func (r *Runner) Fig3() *Table {
 }
 
 // fctPanel renders one Fig. 4 panel: a metric for every scheme across loads.
-func (r *Runner) fctPanel(title string, wl *workload.CDF, metric func(Result) float64) *Table {
+func (r *Runner) fctPanel(title string, wl *workload.CDF, metric func(Result) float64) (*Table, error) {
 	t := &Table{Title: title, Columns: r.loadCols()}
 	for _, scheme := range AllSchemes() {
 		row := []string{string(scheme)}
 		for _, load := range r.Loads {
-			row = append(row, f2(metric(r.run(scheme, wl, load))))
+			res, err := r.run(scheme, wl, load)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(metric(res)))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig4 regenerates the four FCT panels under the Web Search workload:
 // (a) overall average, (b) mice average, (c) mice 99th percentile,
 // (d) elephant average — all as normalized FCT (slowdown).
-func (r *Runner) Fig4() []*Table {
+func (r *Runner) Fig4() ([]*Table, error) {
 	ws := workload.WebSearch()
-	return []*Table{
-		r.fctPanel("Fig. 4(a) — WebSearch overall avg normalized FCT", ws,
-			func(res Result) float64 { return res.Overall.AvgSlowdown }),
-		r.fctPanel("Fig. 4(b) — WebSearch mice (0,100KB] avg normalized FCT", ws,
-			func(res Result) float64 { return res.MiceBkt.AvgSlowdown }),
-		r.fctPanel("Fig. 4(c) — WebSearch mice (0,100KB] 99th-pct normalized FCT", ws,
-			func(res Result) float64 { return res.MiceBkt.P99Slowdown }),
-		r.fctPanel("Fig. 4(d) — WebSearch elephant [10MB,inf) avg normalized FCT", ws,
-			func(res Result) float64 { return res.Elephant.AvgSlowdown }),
+	var out []*Table
+	for _, p := range []struct {
+		title  string
+		metric func(Result) float64
+	}{
+		{"Fig. 4(a) — WebSearch overall avg normalized FCT",
+			func(res Result) float64 { return res.Overall.AvgSlowdown }},
+		{"Fig. 4(b) — WebSearch mice (0,100KB] avg normalized FCT",
+			func(res Result) float64 { return res.MiceBkt.AvgSlowdown }},
+		{"Fig. 4(c) — WebSearch mice (0,100KB] 99th-pct normalized FCT",
+			func(res Result) float64 { return res.MiceBkt.P99Slowdown }},
+		{"Fig. 4(d) — WebSearch elephant [10MB,inf) avg normalized FCT",
+			func(res Result) float64 { return res.Elephant.AvgSlowdown }},
+	} {
+		t, err := r.fctPanel(p.title, ws, p.metric)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
 	}
+	return out, nil
 }
 
 // Fig5 compares overall FCT across the two workloads.
-func (r *Runner) Fig5() []*Table {
-	return []*Table{
-		r.fctPanel("Fig. 5(a) — WebSearch overall avg normalized FCT", workload.WebSearch(),
-			func(res Result) float64 { return res.Overall.AvgSlowdown }),
-		r.fctPanel("Fig. 5(b) — DataMining overall avg normalized FCT", workload.DataMining(),
-			func(res Result) float64 { return res.Overall.AvgSlowdown }),
+func (r *Runner) Fig5() ([]*Table, error) {
+	ta, err := r.fctPanel("Fig. 5(a) — WebSearch overall avg normalized FCT", workload.WebSearch(),
+		func(res Result) float64 { return res.Overall.AvgSlowdown })
+	if err != nil {
+		return nil, err
 	}
+	tb, err := r.fctPanel("Fig. 5(b) — DataMining overall avg normalized FCT", workload.DataMining(),
+		func(res Result) float64 { return res.Overall.AvgSlowdown })
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{ta, tb}, nil
 }
 
 // Table1 reproduces the queue length statistics at 60% load.
-func (r *Runner) Table1() *Table {
+func (r *Runner) Table1() (*Table, error) {
 	t := &Table{
 		Title:   "Table I — Queue length statistics at 60% load (WebSearch)",
 		Columns: []string{"queue length", "PET", "ACC", "SECN1", "SECN2"},
@@ -278,43 +317,53 @@ func (r *Runner) Table1() *Table {
 	ws := workload.WebSearch()
 	var avg, vr []string
 	for _, scheme := range []Scheme{SchemePET, SchemeACC, SchemeSECN1, SchemeSECN2} {
-		res := r.run(scheme, ws, 0.6)
+		res, err := r.run(scheme, ws, 0.6)
+		if err != nil {
+			return nil, err
+		}
 		avg = append(avg, f1(res.QueueAvgKB)+"KB")
 		vr = append(vr, f1(res.QueueVarKB)+"KB")
 	}
 	t.AddRow(append([]string{"Average"}, avg...)...)
 	t.AddRow(append([]string{"Variance"}, vr...)...)
 	t.Note("paper reports PET 5.3/10.2 KB vs ACC 6.1/14.1 KB on the 25G fabric")
-	return t
+	return t, nil
 }
 
 // Fig8 reproduces the per-packet latency comparison (Web Search).
-func (r *Runner) Fig8() *Table {
+func (r *Runner) Fig8() (*Table, error) {
 	t := &Table{Title: "Fig. 8 — WebSearch per-packet latency, avg (p99) µs", Columns: r.loadCols()}
 	ws := workload.WebSearch()
 	for _, scheme := range AllSchemes() {
 		row := []string{string(scheme)}
 		for _, load := range r.Loads {
-			res := r.run(scheme, ws, load)
+			res, err := r.run(scheme, ws, load)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, fmt.Sprintf("%.1f (%.1f)", res.LatencyAvgUs, res.LatencyP99Us))
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig9 is the state ablation: PET with vs without the incast-degree and
 // mice/elephant-ratio states.
-func (r *Runner) Fig9() *Table {
+func (r *Runner) Fig9() (*Table, error) {
 	t := &Table{Title: "Fig. 9 — State ablation (WebSearch overall avg normalized FCT)", Columns: r.loadCols()}
 	ws := workload.WebSearch()
 	for _, scheme := range []Scheme{SchemePET, SchemePETAblated} {
 		row := []string{string(scheme)}
 		for _, load := range r.Loads {
-			row = append(row, f2(r.run(scheme, ws, load).Overall.AvgSlowdown))
+			res, err := r.run(scheme, ws, load)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(res.Overall.AvgSlowdown))
 		}
 		t.AddRow(row...)
 	}
 	t.Note("PET-ablated removes D_incast and R_flow from the state (ACC's state set)")
-	return t
+	return t, nil
 }

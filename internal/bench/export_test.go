@@ -1,0 +1,21 @@
+package bench
+
+// Test-only exports. The scheme and transport packages import bench to
+// register themselves, so bench's own tests live in package bench_test
+// (importing those packages from an in-package test would cycle); this shim
+// exposes the unexported pieces they exercise.
+
+import (
+	"pet/internal/topo"
+	"pet/internal/workload"
+)
+
+var MergeResults = mergeResults
+
+func PickFabricLinks(e *Env, frac float64) []topo.LinkID { return pickFabricLinks(e, frac) }
+
+func (r *Runner) RunOne(scheme Scheme, wl *workload.CDF, load float64) (Result, error) {
+	return r.run(scheme, wl, load)
+}
+
+func (r *Runner) CacheSize() int { return len(r.cache) }

@@ -1,8 +1,10 @@
-package bench
+package bench_test
 
 import (
 	"testing"
 
+	"pet/internal/bench"
+	"pet/internal/core"
 	"pet/internal/sim"
 	"pet/internal/topo"
 )
@@ -14,16 +16,23 @@ func TestPaperScaleSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale smoke skipped in -short")
 	}
-	env := NewEnv(Scenario{
+	env, err := bench.NewEnv(bench.Scenario{
 		Topo:               topo.PaperScale(),
-		Scheme:             SchemePET,
+		Scheme:             bench.SchemePET,
 		Train:              true,
 		TrainDuringMeasure: true,
 		Load:               0.1,
 		Warmup:             500 * sim.Microsecond,
 		Duration:           1500 * sim.Microsecond,
 	})
-	if got := len(env.PET.Agents()); got != 18 {
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, ok := env.Control.(*core.Controller)
+	if !ok {
+		t.Fatalf("PET scheme assembled %T, want *core.Controller", env.Control)
+	}
+	if got := len(ctl.Agents()); got != 18 {
 		t.Fatalf("agents = %d, want 18 (12 leaves + 6 spines)", got)
 	}
 	res := env.Run()
@@ -31,7 +40,7 @@ func TestPaperScaleSmoke(t *testing.T) {
 		t.Fatal("no flows completed at paper scale")
 	}
 	stepped := 0
-	for _, a := range env.PET.Agents() {
+	for _, a := range ctl.Agents() {
 		if a.Steps() > 0 {
 			stepped++
 		}

@@ -3,21 +3,18 @@
 // collects the paper's metrics (FCT buckets, per-packet latency, queue
 // statistics, time series), and regenerates every table and figure of the
 // evaluation section as printable text tables.
+//
+// Schemes and transports are pluggable: implementations register named
+// builders (RegisterScheme, RegisterTransport) and scenarios select them by
+// name, so bench never imports a concrete controller or end-host stack.
 package bench
 
 import (
 	"context"
 	"fmt"
 
-	"pet/internal/acc"
-	"pet/internal/core"
-	"pet/internal/dcqcn"
-	"pet/internal/dctcp"
-	"pet/internal/dynecn"
 	"pet/internal/netsim"
-	"pet/internal/rl/ppo"
 	"pet/internal/sim"
-	"pet/internal/staticecn"
 	"pet/internal/stats"
 	"pet/internal/telemetry"
 	"pet/internal/topo"
@@ -28,7 +25,9 @@ import (
 // Scheme selects the ECN control strategy under test.
 type Scheme string
 
-// The compared schemes (Sec. 5.4) plus the Fig. 9 ablation variant.
+// The compared schemes (Sec. 5.4) plus the Fig. 9 ablation variant. These
+// names are registered by internal/core, internal/acc, internal/staticecn
+// and internal/dynecn; external packages may register further schemes.
 const (
 	SchemePET        Scheme = "PET"
 	SchemePETAblated Scheme = "PET-ablated" // incast & M/E-ratio states removed
@@ -68,8 +67,14 @@ type Scenario struct {
 	IncastFanIn    int
 
 	Scheme Scheme
-	Beta1  float64 // reward weights; zero → (0.3, 0.7)
+	Beta1  float64 // reward weights; both zero → (0.3, 0.7) unless ExplicitBetas
 	Beta2  float64
+
+	// ExplicitBetas marks Beta1/Beta2 as deliberately set, suppressing the
+	// (0.3, 0.7) default even when both are zero — without it the β-ablation
+	// sweeps could never reach the axes.
+	ExplicitBetas bool
+
 	Train  bool   // online incremental training during warmup
 	Models []byte // optional offline-pretrained PET model bundle
 
@@ -102,15 +107,16 @@ type Scenario struct {
 	// parallel pre-training fleet does. Observation-only by design.
 	Telemetry *telemetry.Registry
 
-	// Transport selects the end-host stack (default DCQCN). PET requires
-	// no server-side changes, so any ECN-reacting transport plugs in.
+	// Transport selects the end-host stack by registered name (default
+	// DCQCN). PET requires no server-side changes, so any ECN-reacting
+	// transport plugs in.
 	Transport TransportKind
 }
 
 // TransportKind selects the end-host congestion control.
 type TransportKind string
 
-// Supported transports.
+// The built-in transports, registered by internal/dcqcn and internal/dctcp.
 const (
 	TransportDCQCN TransportKind = "dcqcn" // rate-based, RDMA (default)
 	TransportDCTCP TransportKind = "dctcp" // window-based, TCP
@@ -126,7 +132,13 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Load == 0 {
 		s.Load = 0.6
 	}
-	if s.Beta1 == 0 && s.Beta2 == 0 {
+	if s.Scheme == "" {
+		s.Scheme = SchemeSECN1
+	}
+	if s.Transport == "" {
+		s.Transport = TransportDCQCN
+	}
+	if !s.ExplicitBetas && s.Beta1 == 0 && s.Beta2 == 0 {
 		s.Beta1, s.Beta2 = 0.3, 0.7
 	}
 	if s.Warmup == 0 {
@@ -138,10 +150,14 @@ func (s Scenario) withDefaults() Scenario {
 	return s
 }
 
-// controlAlpha is the Eq. (5) scale parameter used on the scaled-down
+// ControlAlpha is the Eq. (5) scale parameter used on the scaled-down
 // fabrics: α=2 spans 2 KB–1 MB, proportionate to 10–40 Gbps links the same
-// way the paper's α=20 spans its 25–100 Gbps fabric.
-const controlAlpha = 2
+// way the paper's α=20 spans its 25–100 Gbps fabric. Scheme builders share
+// it so every learned or rule-based controller sweeps the same action space.
+const ControlAlpha = 2
+
+// ControlInterval is the Δt every built-in scheme reconfigures at.
+const ControlInterval = 100 * sim.Microsecond
 
 // Env is a fully assembled, running scenario.
 type Env struct {
@@ -149,13 +165,13 @@ type Env struct {
 	Eng      *sim.Engine
 	LS       *topo.LeafSpine
 	Net      *netsim.Network
-	Tr       *dcqcn.Transport // nil when Transport is DCTCP
-	TrDCTCP  *dctcp.Transport // nil when Transport is DCQCN
+	Tr       Transport
 	Gen      *workload.Generator
 
-	PET  *core.Controller     // nil unless Scheme is PET/PET-ablated
-	CTDE *core.CTDEController // nil unless Scheme is PET-CTDE
-	ACC  *acc.Controller      // nil unless Scheme is ACC
+	// Control is the assembled ECN control scheme selected by
+	// Scenario.Scheme. Type-assert to reach a concrete controller
+	// (e.g. *core.Controller) for scheme-specific inspection.
+	Control ControlScheme
 
 	Collector *stats.FCTCollector
 	Latency   *stats.Sample  // one-way data-packet delay, µs
@@ -187,9 +203,19 @@ func (e *Env) idealPathDelay(src, dst topo.NodeID, size int64) sim.Time {
 		sim.TransmitTime(last, cfg.HostLinkBps)
 }
 
-// NewEnv assembles a scenario without running it.
-func NewEnv(s Scenario) *Env {
+// NewEnv assembles a scenario without running it. An unregistered scheme or
+// transport name yields an *UnknownSchemeError / *UnknownTransportError.
+func NewEnv(s Scenario) (*Env, error) {
 	s = s.withDefaults()
+	buildTransport, err := transportBuilder(s.Transport)
+	if err != nil {
+		return nil, err
+	}
+	buildScheme, err := schemeBuilder(s.Scheme)
+	if err != nil {
+		return nil, err
+	}
+
 	eng := sim.NewEngine()
 	ls := topo.BuildLeafSpine(s.Topo)
 	net := netsim.New(eng, ls.Graph, s.Seed, netsim.Config{BufferPerQueue: 4 << 20, Telemetry: s.Telemetry})
@@ -210,59 +236,11 @@ func NewEnv(s Scenario) *Env {
 		e.Trace = trace.NewRecorder(1 << 20)
 	}
 
-	// onDone and onData are transport-agnostic collection hooks.
-	onDone := func(id netsim.FlowID, src, dst topo.NodeID, size int64, fct sim.Time, finishedAt sim.Time) {
-		meta := e.flowMeta[id]
-		delete(e.flowMeta, id)
-		e.Trace.Record(eng.Now(), trace.FlowDone,
-			trace.F("flow", id), trace.F("fct_us", fct.Microseconds()))
-		if !e.measuring {
-			return
-		}
-		ideal := stats.IdealFCT(size, e.hostRate, e.idealPathDelay(src, dst, size))
-		rec := stats.FCTRecord{
-			Size:     size,
-			FCT:      fct,
-			Slowdown: float64(fct) / float64(ideal),
-			Incast:   meta.Incast,
-			At:       finishedAt,
-		}
-		e.Collector.Record(rec)
-		if s.SeriesWindow > 0 {
-			e.addSeries(rec)
-		}
+	if e.Tr, err = buildTransport(e); err != nil {
+		return nil, fmt.Errorf("bench: assembling transport %q: %w", s.Transport, err)
 	}
-	onData := func(pkt *netsim.Packet, d sim.Time) {
-		if e.measuring {
-			e.Latency.Add(d.Microseconds())
-		}
-	}
-
-	var startFlow func(src, dst topo.NodeID, size int64) netsim.FlowID
-	switch s.Transport {
-	case TransportDCQCN, "":
-		tr := dcqcn.NewTransport(net, dcqcn.Config{Telemetry: s.Telemetry})
-		e.Tr = tr
-		tr.OnFlowComplete(func(f *dcqcn.Flow) {
-			onDone(f.ID, f.Src, f.Dst, f.Size, f.FCT(), f.FinishedAt)
-		})
-		tr.OnDataDelivered(onData)
-		startFlow = func(src, dst topo.NodeID, size int64) netsim.FlowID {
-			return tr.StartFlow(src, dst, size, 0).ID
-		}
-	case TransportDCTCP:
-		tr := dctcp.NewTransport(net, dctcp.Config{})
-		e.TrDCTCP = tr
-		tr.OnFlowComplete(func(f *dctcp.Flow) {
-			onDone(f.ID, f.Src, f.Dst, f.Size, f.FCT(), f.FinishedAt)
-		})
-		tr.OnDataDelivered(onData)
-		startFlow = func(src, dst topo.NodeID, size int64) netsim.FlowID {
-			return tr.StartFlow(src, dst, size, 0).ID
-		}
-	default:
-		panic(fmt.Sprintf("bench: unknown transport %q", s.Transport))
-	}
+	e.Tr.OnFlowComplete(e.flowDone)
+	e.Tr.OnDataDelivered(e.dataDelivered)
 
 	e.Gen = workload.NewGenerator(eng, workload.Config{
 		Hosts:          ls.Hosts,
@@ -272,15 +250,57 @@ func NewEnv(s Scenario) *Env {
 		IncastFraction: s.IncastFraction,
 		IncastFanIn:    s.IncastFanIn,
 	}, s.Seed, func(src, dst topo.NodeID, size int64, meta workload.FlowMeta) {
-		id := startFlow(src, dst, size)
+		id := e.Tr.StartFlow(src, dst, size, 0)
 		e.flowMeta[id] = meta
 		e.Trace.Record(eng.Now(), trace.FlowStart,
 			trace.F("flow", id), trace.F("src", src), trace.F("dst", dst),
 			trace.F("size", size), trace.F("incast", meta.Incast))
 	})
 
-	e.installScheme()
-	return e
+	if e.Control, err = buildScheme(e); err != nil {
+		return nil, fmt.Errorf("bench: assembling scheme %q: %w", s.Scheme, err)
+	}
+	e.Control.Start()
+	return e, nil
+}
+
+// flowDone is the transport-agnostic completion hook feeding the collectors.
+func (e *Env) flowDone(f FlowEnd) {
+	meta := e.flowMeta[f.ID]
+	delete(e.flowMeta, f.ID)
+	e.Trace.Record(e.Eng.Now(), trace.FlowDone,
+		trace.F("flow", f.ID), trace.F("fct_us", f.FCT.Microseconds()))
+	if !e.measuring {
+		return
+	}
+	ideal := stats.IdealFCT(f.Size, e.hostRate, e.idealPathDelay(f.Src, f.Dst, f.Size))
+	rec := stats.FCTRecord{
+		Size:     f.Size,
+		FCT:      f.FCT,
+		Slowdown: float64(f.FCT) / float64(ideal),
+		Incast:   meta.Incast,
+		At:       f.FinishedAt,
+	}
+	e.Collector.Record(rec)
+	if e.Scenario.SeriesWindow > 0 {
+		e.addSeries(rec)
+	}
+}
+
+// dataDelivered samples one-way data-packet latency during measurement.
+func (e *Env) dataDelivered(pkt *netsim.Packet, d sim.Time) {
+	if e.measuring {
+		e.Latency.Add(d.Microseconds())
+	}
+}
+
+// RecordECNChange is the shared OnApply hook scheme builders install so
+// every threshold reconfiguration lands in the run's trace, whichever
+// controller produced it.
+func (e *Env) RecordECNChange(sw topo.NodeID, cfg netsim.ECNConfig) {
+	e.Trace.Record(e.Eng.Now(), trace.ECNChange,
+		trace.F("switch", sw), trace.F("kmin", cfg.KminBytes),
+		trace.F("kmax", cfg.KmaxBytes), trace.F("pmax", cfg.Pmax))
 }
 
 // addSeries folds a completed flow into the mice/elephant/all time series.
@@ -301,93 +321,6 @@ func (e *Env) addSeries(rec stats.FCTRecord) {
 	}
 	if stats.Elephant(rec) {
 		add("elephant")
-	}
-}
-
-// petConfig translates a scenario into the PET controller configuration
-// shared by the DTDE and CTDE variants: a short-horizon training budget
-// (frequent small updates, more epochs per trajectory, short
-// credit-assignment horizon — queue dynamics respond to a threshold change
-// within a few intervals).
-// petTrainKnobs centralizes the IPPO training-budget knobs so the
-// calibration tests can sweep them; see petConfig for the rationale.
-var petTrainKnobs = struct {
-	UpdateEvery int
-	PPO         ppo.Config
-}{
-	UpdateEvery: 64,
-	PPO: ppo.Config{
-		Epochs:    4,
-		Minibatch: 32,
-		Gamma:     0.9,
-		Lambda:    0.9,
-	},
-}
-
-func (e *Env) petConfig(s Scenario) core.Config {
-	return core.Config{
-		OnApply: func(sw topo.NodeID, cfg netsim.ECNConfig) {
-			e.Trace.Record(e.Eng.Now(), trace.ECNChange,
-				trace.F("switch", sw), trace.F("kmin", cfg.KminBytes),
-				trace.F("kmax", cfg.KmaxBytes), trace.F("pmax", cfg.Pmax))
-		},
-		Alpha:              controlAlpha,
-		Interval:           100 * sim.Microsecond,
-		Beta1:              s.Beta1,
-		Beta2:              s.Beta2,
-		Train:              s.Train,
-		HistoryK:           s.HistoryK,
-		Seed:               s.Seed,
-		DisableIncastState: s.Scheme == SchemePETAblated,
-		DisableRatioState:  s.Scheme == SchemePETAblated,
-		UpdateEvery:        petTrainKnobs.UpdateEvery,
-		PPO:                petTrainKnobs.PPO,
-		Telemetry:          s.Telemetry,
-	}
-}
-
-// installScheme wires the selected ECN control strategy.
-func (e *Env) installScheme() {
-	s := e.Scenario
-	switch s.Scheme {
-	case SchemeSECN1, "":
-		staticecn.Apply(e.Net, 0, staticecn.SECN1())
-	case SchemeSECN2:
-		staticecn.Apply(e.Net, 0, staticecn.SECN2())
-	case SchemeAMT:
-		dynecn.NewAMT(e.Net, dynecn.AMTConfig{}).Start()
-	case SchemeQAECN:
-		dynecn.NewQAECN(e.Net, dynecn.QAECNConfig{}).Start()
-	case SchemePET, SchemePETAblated:
-		e.PET = core.NewController(e.Net, e.petConfig(s))
-		if len(s.Models) > 0 {
-			if err := e.PET.LoadModels(s.Models); err != nil {
-				panic(fmt.Sprintf("bench: loading PET models: %v", err))
-			}
-		}
-		e.PET.Start()
-	case SchemePETCTDE:
-		e.CTDE = core.NewCTDEController(e.Net, e.petConfig(s))
-		e.CTDE.Start()
-	case SchemeACC:
-		cfg := acc.Config{
-			Alpha:        controlAlpha,
-			Interval:     100 * sim.Microsecond,
-			Omega1:       s.Beta1,
-			Omega2:       s.Beta2,
-			Train:        s.Train,
-			GlobalReplay: true,
-			Seed:         s.Seed,
-			OnApply: func(sw topo.NodeID, cfg netsim.ECNConfig) {
-				e.Trace.Record(e.Eng.Now(), trace.ECNChange,
-					trace.F("switch", sw), trace.F("kmin", cfg.KminBytes),
-					trace.F("kmax", cfg.KmaxBytes), trace.F("pmax", cfg.Pmax))
-			},
-		}
-		e.ACC = acc.NewController(e.Net, cfg)
-		e.ACC.Start()
-	default:
-		panic(fmt.Sprintf("bench: unknown scheme %q", s.Scheme))
 	}
 }
 
@@ -412,16 +345,11 @@ func (e *Env) Run() Result {
 	e.Eng.RunUntil(s.Warmup)
 	e.measuring = true
 	if s.Train && !s.TrainDuringMeasure {
-		// Switch from online training to decentralized execution. The CTDE
-		// variant keeps training: centralized training cannot be paused
-		// without abandoning its premise, and its collection overhead
-		// during operation is part of what the comparison measures.
-		if e.PET != nil {
-			e.PET.SetTrain(false)
-		}
-		if e.ACC != nil {
-			e.ACC.SetTrain(false)
-		}
+		// Switch from online training to decentralized execution. Schemes
+		// for which the distinction is meaningless (static thresholds,
+		// centralized training that cannot be paused without abandoning its
+		// premise) treat SetTrain as a no-op.
+		e.Control.SetTrain(false)
 	}
 	e.Eng.RunUntil(s.Warmup + s.Duration)
 	e.measuring = false
@@ -447,10 +375,10 @@ type Result struct {
 	FlowsDone int
 	Drops     uint64
 
-	// Overhead metrics (zero unless the scheme incurs them).
-	ReplayBytesExchanged  int64 // ACC's global replay gossip
-	ReplayMemoryBytes     int64 // ACC's resident replay copies
-	CentralBytesCollected int64 // CTDE's observation shipping
+	// Overhead holds the scheme's control-plane overhead counters keyed by
+	// metric name (see the Overhead* constants); nil when the scheme
+	// incurs none.
+	Overhead map[string]int64
 
 	Series map[string]*stats.TimeSeries
 }
@@ -461,7 +389,7 @@ func (e *Env) result() Result {
 		st := p.Stats()
 		drops += st.DropsOverflow + st.DropsLinkDown
 	}
-	r := Result{
+	return Result{
 		Scheme:       e.Scenario.Scheme,
 		Load:         e.Scenario.Load,
 		Overall:      e.Collector.Summarize(stats.All),
@@ -474,16 +402,9 @@ func (e *Env) result() Result {
 		QueueVarKB:   e.QueueKB.Var(),
 		FlowsDone:    e.Collector.N(),
 		Drops:        drops,
+		Overhead:     e.Control.Overhead(),
 		Series:       e.Series,
 	}
-	if e.ACC != nil {
-		r.ReplayBytesExchanged = e.ACC.BytesExchanged()
-		r.ReplayMemoryBytes = e.ACC.ReplayMemoryBytes()
-	}
-	if e.CTDE != nil {
-		r.CentralBytesCollected = e.CTDE.BytesCollected()
-	}
-	return r
 }
 
 // SetLinksUp changes link states with routing recompute and trace records.
@@ -497,7 +418,13 @@ func (e *Env) SetLinksUp(links []topo.LinkID, up bool) {
 }
 
 // Run assembles and executes a scenario in one call.
-func Run(s Scenario) Result { return NewEnv(s).Run() }
+func Run(s Scenario) (Result, error) {
+	env, err := NewEnv(s)
+	if err != nil {
+		return Result{}, err
+	}
+	return env.Run(), nil
+}
 
 // pretrainScenario normalizes a scenario for one offline-training episode:
 // PET scheme, training on, no preloaded models, no events, and the episode
@@ -518,9 +445,19 @@ func pretrainScenario(s Scenario, dur sim.Time, seed int64) Scenario {
 
 // EpisodeStats summarizes one offline-training episode.
 type EpisodeStats struct {
-	Models     []byte  // trained model bundle (core.Controller.EncodeModels)
+	Models     []byte  // trained model bundle (ModelScheme.EncodeModels)
 	MeanReward float64 // average per-slot reward across agents
 	Updates    int     // completed IPPO updates across agents
+}
+
+// modelControl returns the env's scheme as a ModelScheme, or an error when
+// the scheme cannot serialize models and so cannot be pre-trained.
+func (e *Env) modelControl() (ModelScheme, error) {
+	ms, ok := e.Control.(ModelScheme)
+	if !ok {
+		return nil, fmt.Errorf("bench: scheme %q does not support model serialization", e.Scenario.Scheme)
+	}
+	return ms, nil
 }
 
 // ctxCheckChunks bounds how long a cancellation can go unnoticed: the
@@ -546,9 +483,16 @@ func PretrainEpisode(ctx context.Context, s Scenario, dur sim.Time, seed int64, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	env := NewEnv(pretrainScenario(s, dur, seed))
+	env, err := NewEnv(pretrainScenario(s, dur, seed))
+	if err != nil {
+		return EpisodeStats{}, err
+	}
+	ctl, err := env.modelControl()
+	if err != nil {
+		return EpisodeStats{}, err
+	}
 	if len(models) > 0 {
-		if err := env.PET.LoadModels(models); err != nil {
+		if err := ctl.LoadModels(models); err != nil {
 			return EpisodeStats{}, fmt.Errorf("bench: loading episode base models: %w", err)
 		}
 	}
@@ -570,33 +514,41 @@ func PretrainEpisode(ctx context.Context, s Scenario, dur sim.Time, seed int64, 
 	if err := ctx.Err(); err != nil {
 		return EpisodeStats{}, fmt.Errorf("bench: episode cancelled at %v: %w", dur, err)
 	}
-	data, err := env.PET.EncodeModels()
+	data, err := ctl.EncodeModels()
 	if err != nil {
 		return EpisodeStats{}, fmt.Errorf("bench: encoding pretrained models: %w", err)
 	}
-	return EpisodeStats{
-		Models:     data,
-		MeanReward: env.PET.MeanReward(),
-		Updates:    env.PET.TotalUpdates(),
-	}, nil
+	ep := EpisodeStats{Models: data}
+	if ts, ok := env.Control.(TrainStats); ok {
+		ep.MeanReward = ts.MeanReward()
+		ep.Updates = ts.TotalUpdates()
+	}
+	return ep, nil
 }
 
 // PretrainInit returns the untrained model bundle a scenario's controller
 // starts from — the common base the fleet broadcasts to every worker before
 // the first round so merged weight deltas share one origin.
 func PretrainInit(s Scenario) ([]byte, error) {
-	env := NewEnv(pretrainScenario(s, 0, s.Seed))
-	return env.PET.EncodeModels()
+	env, err := NewEnv(pretrainScenario(s, 0, s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := env.modelControl()
+	if err != nil {
+		return nil, err
+	}
+	return ctl.EncodeModels()
 }
 
 // PretrainPET runs the offline training phase (Sec. 4.4.1): a training-only
 // simulation on the scenario's fabric and workload whose learned models are
 // returned for deployment in subsequent (online) runs. It is the
 // single-episode sequential path; internal/fleet parallelizes it.
-func PretrainPET(s Scenario, dur sim.Time) []byte {
+func PretrainPET(s Scenario, dur sim.Time) ([]byte, error) {
 	ep, err := PretrainEpisode(context.Background(), s, dur, s.Seed, nil)
 	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
+		return nil, err
 	}
-	return ep.Models
+	return ep.Models, nil
 }

@@ -1,9 +1,10 @@
-package bench
+package bench_test
 
 import (
 	"context"
 	"testing"
 
+	"pet/internal/bench"
 	"pet/internal/sim"
 	"pet/internal/telemetry"
 )
@@ -14,16 +15,16 @@ import (
 // call site — and "on" against a live registry collecting every series. The
 // two should be within a few percent of each other.
 func BenchmarkTelemetryOverhead(b *testing.B) {
-	s := Scenario{Seed: 1, Load: 0.4, IncastFraction: 0.2, IncastFanIn: 3}
+	s := bench.Scenario{Seed: 1, Load: 0.4, IncastFraction: 0.2, IncastFanIn: 3}
 	episode := 2 * sim.Millisecond
-	init, err := PretrainInit(s)
+	init, err := bench.PretrainInit(s)
 	if err != nil {
 		b.Fatal(err)
 	}
-	run := func(b *testing.B, s Scenario) {
+	run := func(b *testing.B, s bench.Scenario) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := PretrainEpisode(context.Background(), s, episode, s.Seed, init); err != nil {
+			if _, err := bench.PretrainEpisode(context.Background(), s, episode, s.Seed, init); err != nil {
 				b.Fatal(err)
 			}
 		}

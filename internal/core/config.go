@@ -54,6 +54,11 @@ type Config struct {
 	Beta2     float64 // delay weight, default 0.7
 	QrefBytes float64 // default 20 KiB
 
+	// ExplicitWeights marks Beta1/Beta2 as deliberately set, suppressing
+	// the (0.3, 0.7) default even when both are zero, so ablations can put
+	// all weight on one reward term.
+	ExplicitWeights bool
+
 	// Online incremental training (Sec. 4.4.2).
 	Train       bool
 	UpdateEvery int         // transitions per IPPO update, default 32
@@ -108,7 +113,7 @@ func (c Config) withDefaults() Config {
 	if c.QueueSampleDiv == 0 {
 		c.QueueSampleDiv = 8
 	}
-	if c.Beta1 == 0 && c.Beta2 == 0 {
+	if !c.ExplicitWeights && c.Beta1 == 0 && c.Beta2 == 0 {
 		c.Beta1, c.Beta2 = 0.3, 0.7
 	}
 	if c.QrefBytes == 0 {

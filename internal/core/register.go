@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"pet/internal/bench"
+	"pet/internal/rl/ppo"
+)
+
+// This file plugs PET into the bench scheme registry: the DTDE controller
+// under "PET", its Fig. 9 state ablation under "PET-ablated", and the
+// centralized-training MAPPO variant under "PET-CTDE".
+
+func init() {
+	bench.RegisterScheme(bench.SchemePET, buildPET)
+	bench.RegisterScheme(bench.SchemePETAblated, buildPET)
+	bench.RegisterScheme(bench.SchemePETCTDE, func(e *bench.Env) (bench.ControlScheme, error) {
+		return ctdeScheme{NewCTDEController(e.Net, benchConfig(e))}, nil
+	})
+}
+
+func buildPET(e *bench.Env) (bench.ControlScheme, error) {
+	c := NewController(e.Net, benchConfig(e))
+	if m := e.Scenario.Models; len(m) > 0 {
+		if err := c.LoadModels(m); err != nil {
+			return nil, fmt.Errorf("loading PET models: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// benchTrainKnobs centralizes the IPPO training-budget knobs the bench
+// scenarios use — a short-horizon budget (frequent small updates, more
+// epochs per trajectory, short credit-assignment horizon: queue dynamics
+// respond to a threshold change within a few intervals) — so the
+// calibration tests can sweep them.
+var benchTrainKnobs = struct {
+	UpdateEvery int
+	PPO         ppo.Config
+}{
+	UpdateEvery: 64,
+	PPO: ppo.Config{
+		Epochs:    4,
+		Minibatch: 32,
+		Gamma:     0.9,
+		Lambda:    0.9,
+	},
+}
+
+// benchConfig translates a bench scenario into the PET controller
+// configuration shared by the DTDE and CTDE variants.
+func benchConfig(e *bench.Env) Config {
+	s := e.Scenario
+	return Config{
+		OnApply:            e.RecordECNChange,
+		Alpha:              bench.ControlAlpha,
+		Interval:           bench.ControlInterval,
+		Beta1:              s.Beta1,
+		Beta2:              s.Beta2,
+		ExplicitWeights:    true, // bench.Scenario owns reward-weight defaulting
+		Train:              s.Train,
+		HistoryK:           s.HistoryK,
+		Seed:               s.Seed,
+		DisableIncastState: s.Scheme == bench.SchemePETAblated,
+		DisableRatioState:  s.Scheme == bench.SchemePETAblated,
+		UpdateEvery:        benchTrainKnobs.UpdateEvery,
+		PPO:                benchTrainKnobs.PPO,
+		Telemetry:          s.Telemetry,
+	}
+}
+
+// Overhead implements bench.ControlScheme: DTDE exchanges nothing between
+// switches — the absence of this overhead is the paper's Goal 3.
+func (c *Controller) Overhead() map[string]int64 { return nil }
+
+// ctdeScheme adapts CTDEController to bench.ControlScheme. SetTrain is a
+// no-op by design: centralized training cannot be paused without abandoning
+// its premise, and its collection overhead during operation is part of what
+// the DTDE-vs-CTDE comparison measures.
+type ctdeScheme struct{ *CTDEController }
+
+func (s ctdeScheme) SetTrain(bool) {}
+
+func (s ctdeScheme) Overhead() map[string]int64 {
+	return map[string]int64{bench.OverheadCentralBytes: s.BytesCollected()}
+}

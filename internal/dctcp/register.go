@@ -1,0 +1,35 @@
+package dctcp
+
+import (
+	"pet/internal/bench"
+	"pet/internal/netsim"
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// Plug DCTCP into the bench transport registry, exercising PET's
+// "no server-side changes" claim on a window-based stack.
+
+func init() {
+	bench.RegisterTransport(bench.TransportDCTCP, func(e *bench.Env) (bench.Transport, error) {
+		return benchTransport{NewTransport(e.Net, Config{})}, nil
+	})
+}
+
+// benchTransport adapts Transport to bench.Transport, translating the
+// concrete *Flow completion callback into the transport-agnostic FlowEnd.
+type benchTransport struct{ *Transport }
+
+func (t benchTransport) StartFlow(src, dst topo.NodeID, size int64, class int) netsim.FlowID {
+	return t.Transport.StartFlow(src, dst, size, class).ID
+}
+
+func (t benchTransport) OnFlowComplete(fn func(bench.FlowEnd)) {
+	t.Transport.OnFlowComplete(func(f *Flow) {
+		fn(bench.FlowEnd{ID: f.ID, Src: f.Src, Dst: f.Dst, Size: f.Size, FCT: f.FCT(), FinishedAt: f.FinishedAt})
+	})
+}
+
+func (t benchTransport) OnDataDelivered(fn func(pkt *netsim.Packet, delay sim.Time)) {
+	t.Transport.OnDataDelivered(fn)
+}

@@ -1,0 +1,28 @@
+package dynecn
+
+import "pet/internal/bench"
+
+// Plug the rule-based dynamic baselines into the bench scheme registry.
+
+func init() {
+	bench.RegisterScheme(bench.SchemeAMT, func(e *bench.Env) (bench.ControlScheme, error) {
+		return NewAMT(e.Net, AMTConfig{}), nil
+	})
+	bench.RegisterScheme(bench.SchemeQAECN, func(e *bench.Env) (bench.ControlScheme, error) {
+		return NewQAECN(e.Net, QAECNConfig{}), nil
+	})
+}
+
+// SetTrain implements bench.ControlScheme; the adaptation law is a
+// pre-defined rule, so there is nothing to train.
+func (a *AMT) SetTrain(bool) {}
+
+// Overhead implements bench.ControlScheme; the rule is purely local.
+func (a *AMT) Overhead() map[string]int64 { return nil }
+
+// SetTrain implements bench.ControlScheme; the adaptation law is a
+// pre-defined rule, so there is nothing to train.
+func (q *QAECN) SetTrain(bool) {}
+
+// Overhead implements bench.ControlScheme; the rule is purely local.
+func (q *QAECN) Overhead() map[string]int64 { return nil }

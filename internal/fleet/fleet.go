@@ -50,6 +50,7 @@ import (
 
 	"pet/internal/bench"
 	"pet/internal/core"
+	_ "pet/internal/dcqcn" // register the default transport episodes assemble with
 	"pet/internal/rng"
 	"pet/internal/sim"
 	"pet/internal/telemetry"

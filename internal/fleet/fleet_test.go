@@ -22,7 +22,10 @@ func testScenario(seed int64) bench.Scenario {
 
 func TestWorkersOneRoundOneMatchesSequential(t *testing.T) {
 	s := testScenario(1)
-	sequential := bench.PretrainPET(s, trainEpisode)
+	sequential, err := bench.PretrainPET(s, trainEpisode)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Pretrain(s, Config{Workers: 1, Rounds: 1, Episode: trainEpisode})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +89,11 @@ func TestFleetTrainsAndMerges(t *testing.T) {
 	online.Models = res.Models
 	online.Warmup = 2 * sim.Millisecond
 	online.Duration = 4 * sim.Millisecond
-	if out := bench.Run(online); out.FlowsDone == 0 {
+	out, err := bench.Run(online)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FlowsDone == 0 {
 		t.Fatal("no flows completed under the merged pretrained models")
 	}
 }

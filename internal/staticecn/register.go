@@ -1,0 +1,31 @@
+package staticecn
+
+import (
+	"pet/internal/bench"
+	"pet/internal/netsim"
+)
+
+// Plug the two static baselines into the bench scheme registry.
+
+func init() {
+	bench.RegisterScheme(bench.SchemeSECN1, builder(SECN1))
+	bench.RegisterScheme(bench.SchemeSECN2, builder(SECN2))
+}
+
+func builder(cfg func() netsim.ECNConfig) bench.SchemeBuilder {
+	return func(e *bench.Env) (bench.ControlScheme, error) {
+		return static{net: e.Net, cfg: cfg()}, nil
+	}
+}
+
+// static adapts a one-shot threshold installation to bench.ControlScheme:
+// the configuration goes on at Start and never changes, so training and
+// overhead are vacuous.
+type static struct {
+	net *netsim.Network
+	cfg netsim.ECNConfig
+}
+
+func (s static) Start()                     { Apply(s.net, 0, s.cfg) }
+func (s static) SetTrain(bool)              {}
+func (s static) Overhead() map[string]int64 { return nil }

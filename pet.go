@@ -17,13 +17,20 @@
 //
 // Quick start:
 //
-//	result := pet.Run(pet.Scenario{Scheme: pet.SchemePET, Train: true, Load: 0.5})
+//	result, err := pet.Run(pet.Scenario{Scheme: pet.SchemePET, Train: true, Load: 0.5})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(result.Overall.AvgSlowdown)
 //
 // Or regenerate a whole figure:
 //
 //	runner := pet.NewRunner()
-//	for _, table := range runner.Fig4() {
+//	tables, err := runner.Fig4()
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	for _, table := range tables {
 //		fmt.Println(table)
 //	}
 package pet
@@ -37,9 +44,11 @@ import (
 	"pet/internal/core"
 	"pet/internal/dcqcn"
 	"pet/internal/dctcp"
+	_ "pet/internal/dynecn" // register the AMT/QAECN baseline schemes
 	"pet/internal/fleet"
 	"pet/internal/netsim"
 	"pet/internal/sim"
+	_ "pet/internal/staticecn" // register the SECN1/SECN2 baseline schemes
 	"pet/internal/stats"
 	"pet/internal/telemetry"
 	"pet/internal/topo"
@@ -104,8 +113,11 @@ func NewNetwork(eng *Engine, ls *LeafSpine, seed int64, cfg NetworkConfig) *Netw
 
 // Transport types.
 type (
-	// Transport is the DCQCN congestion-controlled transport.
-	Transport = dcqcn.Transport
+	// Transport is the end-host congestion-control interface an assembled
+	// Env drives (see RegisterTransport for plugging in new stacks).
+	Transport = bench.Transport
+	// DCQCNTransport is the rate-based DCQCN transport (the default).
+	DCQCNTransport = dcqcn.Transport
 	// TransportConfig holds DCQCN parameters.
 	TransportConfig = dcqcn.Config
 	// Flow is one sender→receiver transfer.
@@ -114,18 +126,21 @@ type (
 	DCTCPTransport = dctcp.Transport
 	// DCTCPConfig holds DCTCP parameters.
 	DCTCPConfig = dctcp.Config
-	// TransportKind selects the end-host stack in a Scenario.
+	// TransportKind selects the end-host stack in a Scenario by
+	// registered name.
 	TransportKind = bench.TransportKind
+	// FlowEnd is the transport-agnostic flow-completion record.
+	FlowEnd = bench.FlowEnd
 )
 
-// The selectable end-host transports.
+// The built-in end-host transports.
 const (
 	TransportDCQCN = bench.TransportDCQCN
 	TransportDCTCP = bench.TransportDCTCP
 )
 
 // NewTransport attaches a DCQCN transport to every host of the network.
-func NewTransport(net *Network, cfg TransportConfig) *Transport {
+func NewTransport(net *Network, cfg TransportConfig) *DCQCNTransport {
 	return dcqcn.NewTransport(net, cfg)
 }
 
@@ -205,6 +220,49 @@ type (
 	Event = bench.Event
 )
 
+// Pluggable control plane: schemes and transports register named builders
+// and scenarios select them by name (see DESIGN.md).
+type (
+	// ControlScheme is the interface an assembled ECN control scheme
+	// implements (Env.Control holds one).
+	ControlScheme = bench.ControlScheme
+	// ModelScheme is the optional ControlScheme extension for schemes with
+	// serializable models (required for pre-training).
+	ModelScheme = bench.ModelScheme
+	// SchemeBuilder assembles a ControlScheme against an Env.
+	SchemeBuilder = bench.SchemeBuilder
+	// TransportBuilder assembles a Transport over an Env's network.
+	TransportBuilder = bench.TransportBuilder
+	// UnknownSchemeError reports an unregistered Scenario.Scheme.
+	UnknownSchemeError = bench.UnknownSchemeError
+	// UnknownTransportError reports an unregistered Scenario.Transport.
+	UnknownTransportError = bench.UnknownTransportError
+)
+
+// Overhead metric keys the built-in schemes report in Result.Overhead.
+const (
+	OverheadReplayBytes  = bench.OverheadReplayBytes
+	OverheadReplayMemory = bench.OverheadReplayMemory
+	OverheadCentralBytes = bench.OverheadCentralBytes
+)
+
+// RegisterScheme makes a control scheme selectable by name via
+// Scenario.Scheme — the hook for plugging in schemes from outside this
+// module (see README "Registering a custom scheme").
+func RegisterScheme(name Scheme, build SchemeBuilder) { bench.RegisterScheme(name, build) }
+
+// RegisterTransport makes an end-host transport selectable by name via
+// Scenario.Transport.
+func RegisterTransport(name TransportKind, build TransportBuilder) {
+	bench.RegisterTransport(name, build)
+}
+
+// SchemeNames lists every registered scheme, sorted.
+func SchemeNames() []Scheme { return bench.SchemeNames() }
+
+// TransportNames lists every registered transport, sorted.
+func TransportNames() []TransportKind { return bench.TransportNames() }
+
 // The compared schemes.
 const (
 	SchemePET        = bench.SchemePET
@@ -226,18 +284,19 @@ func NewCTDEController(net *Network, cfg ControllerConfig) *CTDEController {
 	return core.NewCTDEController(net, cfg)
 }
 
-// Run assembles and executes a scenario.
-func Run(s Scenario) Result { return bench.Run(s) }
+// Run assembles and executes a scenario. An unregistered scheme or
+// transport name yields an *UnknownSchemeError / *UnknownTransportError.
+func Run(s Scenario) (Result, error) { return bench.Run(s) }
 
 // NewEnv assembles a scenario without running it, for custom wiring.
-func NewEnv(s Scenario) *Env { return bench.NewEnv(s) }
+func NewEnv(s Scenario) (*Env, error) { return bench.NewEnv(s) }
 
 // NewRunner returns the experiment runner with laptop-scale defaults.
 func NewRunner() *Runner { return bench.NewRunner() }
 
 // PretrainPET runs the offline training phase and returns a model bundle
 // loadable via Scenario.Models.
-func PretrainPET(s Scenario, dur Time) []byte { return bench.PretrainPET(s, dur) }
+func PretrainPET(s Scenario, dur Time) ([]byte, error) { return bench.PretrainPET(s, dur) }
 
 // Parallel pre-training fleet (internal/fleet).
 type (

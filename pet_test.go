@@ -1,6 +1,7 @@
 package pet_test
 
 import (
+	"errors"
 	"testing"
 
 	"pet"
@@ -9,13 +10,16 @@ import (
 // TestPublicAPIEndToEnd drives the facade exactly as README's quickstart
 // does: build, run, inspect.
 func TestPublicAPIEndToEnd(t *testing.T) {
-	res := pet.Run(pet.Scenario{
+	res, err := pet.Run(pet.Scenario{
 		Scheme:   pet.SchemePET,
 		Train:    true,
 		Load:     0.5,
 		Warmup:   5 * pet.Millisecond,
 		Duration: 10 * pet.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FlowsDone == 0 {
 		t.Fatal("no flows completed via public API")
 	}
@@ -47,8 +51,11 @@ func TestPublicAPILowLevel(t *testing.T) {
 }
 
 func TestPublicAPIPretrainPipeline(t *testing.T) {
-	models := pet.PretrainPET(pet.Scenario{Load: 0.5}, 5*pet.Millisecond)
-	res := pet.Run(pet.Scenario{
+	models, err := pet.PretrainPET(pet.Scenario{Load: 0.5}, 5*pet.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pet.Run(pet.Scenario{
 		Scheme:   pet.SchemePET,
 		Models:   models,
 		Train:    true,
@@ -56,10 +63,60 @@ func TestPublicAPIPretrainPipeline(t *testing.T) {
 		Warmup:   3 * pet.Millisecond,
 		Duration: 8 * pet.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.FlowsDone == 0 {
 		t.Fatal("pretrain pipeline produced no flows")
 	}
 }
+
+// TestPublicAPIRegistry covers the facade's view of the pluggable control
+// plane: listing, typed errors, and registering a scheme from the outside.
+func TestPublicAPIRegistry(t *testing.T) {
+	schemes := pet.SchemeNames()
+	if len(schemes) < 8 {
+		t.Fatalf("SchemeNames() = %v", schemes)
+	}
+	if tr := pet.TransportNames(); len(tr) < 2 {
+		t.Fatalf("TransportNames() = %v", tr)
+	}
+
+	_, err := pet.Run(pet.Scenario{Scheme: "no-such-scheme"})
+	var unknown *pet.UnknownSchemeError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v, want *UnknownSchemeError", err)
+	}
+
+	pet.RegisterScheme("facade-fixed", func(e *pet.Env) (pet.ControlScheme, error) {
+		return facadeFixed{e}, nil
+	})
+	res, err := pet.Run(pet.Scenario{
+		Scheme:   "facade-fixed",
+		Load:     0.4,
+		Warmup:   2 * pet.Millisecond,
+		Duration: 6 * pet.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowsDone == 0 {
+		t.Fatal("facade-registered scheme ran no flows")
+	}
+}
+
+// facadeFixed pins one static threshold set from outside the library — the
+// minimum viable custom scheme.
+type facadeFixed struct{ env *pet.Env }
+
+func (s facadeFixed) Start() {
+	cfg := pet.ECNConfig{Enabled: true, KminBytes: 20 << 10, KmaxBytes: 80 << 10, Pmax: 0.1}
+	for _, p := range s.env.Net.SwitchPorts() {
+		p.SetECN(0, cfg)
+	}
+}
+func (s facadeFixed) SetTrain(bool)              {}
+func (s facadeFixed) Overhead() map[string]int64 { return nil }
 
 func TestWorkloadFacades(t *testing.T) {
 	if pet.WebSearch().Name() != "WebSearch" || pet.DataMining().Name() != "DataMining" {
