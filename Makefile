@@ -1,7 +1,7 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json test-chaos test-pool ci
+.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve serve-smoke results test-chaos test-pool ci
 
 build:
 	$(GO) build ./...
@@ -65,4 +65,24 @@ bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkSimulatorPacketForwarding|BenchmarkPPOInference|BenchmarkPPOUpdate' -benchmem . \
 		| $(GO) run ./cmd/benchjson -label after -out BENCH_hotpath.json
 
-ci: build build-examples vet lint test test-cli test-pool race test-chaos
+# Serving SLO snapshot: the petd batched-inference benchmark (≥1000
+# concurrent HTTP pollers against the replica pool; reports req/s and
+# client-observed p99_us alongside ns/op) merged into BENCH_serve.json.
+bench-serve:
+	$(GO) test -run='^$$' -bench=BenchmarkInferServe -benchmem ./internal/serve/ \
+		| $(GO) run ./cmd/benchjson -label serve -out BENCH_serve.json
+
+# Serve smoke tier: boot petd on an ephemeral port and drive the whole
+# control plane over real HTTP — experiment lifecycle (launch, inspect,
+# cancel), SSE streaming, batched inference from a freshly trained bundle,
+# graceful shutdown.
+serve-smoke:
+	$(GO) test -run 'TestDaemon' ./cmd/petd/
+
+# Regenerate the committed experiment results (EXPERIMENTS.md points here;
+# petbench_results.txt predates several schemes and the registry refactor,
+# so rebuild it rather than trusting the stale snapshot).
+results:
+	$(GO) run ./cmd/petbench -quick -exp all > petbench_results.txt
+
+ci: build build-examples vet lint test test-cli test-pool serve-smoke race test-chaos

@@ -20,13 +20,15 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. Extra holds custom metrics emitted
+// via b.ReportMetric (e.g. req/s, p99_us), keyed by their unit.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Section is the result set of one benchmark run (one label).
@@ -38,8 +40,13 @@ type Section struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// benchLine matches `BenchmarkName[-P]  N  F ns/op [B B/op] [A allocs/op]`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchLine matches `BenchmarkName[-P]  N  <value unit>...`; the metric
+// pairs (ns/op, B/op, allocs/op, MB/s and any ReportMetric units, in
+// testing's order) are parsed separately by metricPair.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\S.*)$`)
+	metricPair = regexp.MustCompile(`([0-9][0-9.eE+-]*)\s+(\S+)`)
+)
 
 func parse(r io.Reader) (Section, error) {
 	var s Section
@@ -63,12 +70,29 @@ func parse(r io.Reader) (Section, error) {
 			var b Benchmark
 			b.Name = m[1]
 			b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-			b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-			if m[4] != "" {
-				b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			sawNs := false
+			for _, p := range metricPair.FindAllStringSubmatch(m[3], -1) {
+				v, err := strconv.ParseFloat(p[1], 64)
+				if err != nil {
+					continue
+				}
+				switch p[2] {
+				case "ns/op":
+					b.NsPerOp = v
+					sawNs = true
+				case "B/op":
+					b.BytesPerOp = int64(v)
+				case "allocs/op":
+					b.AllocsPerOp = int64(v)
+				default:
+					if b.Extra == nil {
+						b.Extra = map[string]float64{}
+					}
+					b.Extra[p[2]] = v
+				}
 			}
-			if m[5] != "" {
-				b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			if !sawNs {
+				continue // not a benchmark result line after all
 			}
 			s.Benchmarks = append(s.Benchmarks, b)
 		}

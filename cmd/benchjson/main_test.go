@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: pet/internal/serve
+cpu: Intel(R) Xeon(R)
+BenchmarkInferServe-4      	    5000	    250000 ns/op	        12.50 obs/req	       812.7 p99_us	      4000 req/s	    1024 B/op	      10 allocs/op
+BenchmarkHotPath   	 1000000	      1052 ns/op	       0 B/op	       0 allocs/op
+some progress line that is not a benchmark
+PASS
+`
+	s, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pkg != "pet/internal/serve" || s.GoOS != "linux" {
+		t.Errorf("header: %+v", s)
+	}
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+	b := s.Benchmarks[0]
+	if b.Name != "BenchmarkInferServe" || b.Iterations != 5000 || b.NsPerOp != 250000 {
+		t.Errorf("first line: %+v", b)
+	}
+	if b.BytesPerOp != 1024 || b.AllocsPerOp != 10 {
+		t.Errorf("memory stats survived custom metrics badly: %+v", b)
+	}
+	if b.Extra["req/s"] != 4000 || b.Extra["p99_us"] != 812.7 || b.Extra["obs/req"] != 12.5 {
+		t.Errorf("extra metrics: %+v", b.Extra)
+	}
+	b = s.Benchmarks[1]
+	if b.Name != "BenchmarkHotPath" || b.NsPerOp != 1052 || len(b.Extra) != 0 {
+		t.Errorf("plain line: %+v", b)
+	}
+}

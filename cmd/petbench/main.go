@@ -6,6 +6,7 @@
 //	petbench -exp fig4,table1         # a subset
 //	petbench -exp fig4 -topo small    # bigger fabric, slower
 //	petbench -quick                   # fast smoke pass
+//	petbench -telemetry :8080         # watch progress on /metrics meanwhile
 //	petbench -list-schemes            # registered scheme names
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 overhead historyk beta
@@ -33,6 +34,8 @@ func main() {
 		listS  = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
 		listT  = flag.Bool("list-transports", false, "print the registered transport names and exit")
 	)
+	var tf pet.TelemetryFlag
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 	if *listS {
 		for _, name := range pet.SchemeNames() {
@@ -53,9 +56,18 @@ func main() {
 		}
 	}
 
+	if err := tf.Start(func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "petbench: telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	defer tf.Stop()
+
 	r := pet.NewRunner()
 	r.Seed = *seed
 	r.Seeds = *seeds
+	r.Telemetry = tf.Registry
 	switch *topoF {
 	case "tiny":
 		r.Topo = pet.TinyScale()

@@ -1,0 +1,160 @@
+// Command petd is the resident control-plane daemon: it keeps the
+// simulator, the training fleet and a trained policy resident behind one
+// HTTP listener so experiments launch with a POST instead of a process.
+//
+// Usage:
+//
+//	petd                                      # lifecycle API + telemetry only
+//	petd -addr :9090 -max-jobs 2              # two experiments simulate at once
+//	petd -models pet.model -topo tiny         # also serve POST /infer
+//	petd -models ckpt/                        # bundle from a fleet checkpoint dir
+//	petd -list-schemes                        # registered scheme names
+//
+// Endpoints:
+//
+//	POST   /experiments        launch a run or pretrain job (JSON ExperimentSpec)
+//	GET    /experiments        list every job
+//	GET    /experiments/{id}   inspect one job
+//	GET    /experiments/{id}/models   download a finished pretrain bundle
+//	DELETE /experiments/{id}   cancel (pretrain jobs checkpoint on the way out)
+//	GET    /events             server-sent events: telemetry + job snapshots
+//	POST   /infer              batched observations -> (Kmin, Kmax, Pmax) actions
+//	GET    /healthz            daemon and model-bundle status
+//	GET    /metrics, /snapshot, /debug/pprof/...   the telemetry endpoints
+//
+// Watch a run live with `curl -N http://host:port/events`. SIGINT/SIGTERM
+// shuts down gracefully: SSE streams get a shutdown event, running jobs are
+// cancelled (pretrain jobs write a final checkpoint), and the listener
+// drains within -drain.
+//
+// Stdout carries exactly one machine-parsable `addr=` line once the
+// listener is bound (so scripts using -addr :0 can discover the port);
+// progress and logs go to stderr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pet"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("petd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":9090", "listen address (\":0\" binds an ephemeral port, reported on stdout)")
+		models   = fs.String("models", "", "serve POST /infer from this model bundle file or fleet checkpoint directory")
+		topoF    = fs.String("topo", "tiny", "fabric the bundle was trained on: tiny|small|paper")
+		schemeF  = fs.String("scheme", "PET", "registered scheme name served by /infer (see -list-schemes)")
+		replicas = fs.Int("replicas", 0, "inference replica pool size = max concurrent /infer requests (0 = one per core)")
+		maxJobs  = fs.Int("max-jobs", 1, "experiments simulating concurrently (excess queue as pending)")
+		sse      = fs.Duration("sse", time.Second, "default /events push interval (per-client ?interval= overrides)")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for jobs and connections")
+		quiet    = fs.Bool("q", false, "suppress job progress on stderr")
+		listS    = fs.Bool("list-schemes", false, "print the registered scheme names and exit")
+		listT    = fs.Bool("list-transports", false, "print the registered transport names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listS {
+		for _, name := range pet.SchemeNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+	if *listT {
+		for _, name := range pet.TransportNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+
+	fatalf := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "petd: "+format+"\n", args...)
+		return 1
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(stderr, "petd: "+format+"\n", args...)
+		}
+	}
+
+	reg := pet.NewTelemetry()
+	var infer *pet.InferService
+	if *models != "" {
+		bundle, src, err := loadBundle(*models)
+		if err != nil {
+			return fatalf("loading models: %v", err)
+		}
+		infer, err = pet.NewInferService(bundle, pet.InferOptions{
+			Topo:      *topoF,
+			Scheme:    *schemeF,
+			Replicas:  *replicas,
+			Telemetry: reg,
+		})
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		info := infer.Info()
+		logf("serving %s (%s, sha256 %.12s…, %d switches, %d replicas)",
+			*models, src, info.ModelSHA256, len(info.Switches), info.Replicas)
+	}
+
+	daemon := pet.NewDaemon(pet.DaemonConfig{
+		Telemetry:   reg,
+		Infer:       infer,
+		SSEInterval: *sse,
+		MaxJobs:     *maxJobs,
+		Logf:        logf,
+	})
+	srv, err := daemon.Start(*addr)
+	if err != nil {
+		return fatalf("listen: %v", err)
+	}
+	// The single machine-parsable line: the bound address.
+	fmt.Fprintf(stdout, "addr=%s\n", srv.Addr)
+	logf("listening on http://%s (/experiments, /events, /infer, /healthz, /metrics)", srv.Addr)
+
+	<-ctx.Done()
+	logf("shutting down (budget %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := daemon.Shutdown(dctx, srv); err != nil {
+		return fatalf("shutdown: %v", err)
+	}
+	logf("bye")
+	return 0
+}
+
+// loadBundle reads the /infer model bundle: a regular file holds raw
+// EncodeModels bytes (petsim/pettrain -out format); a directory is a fleet
+// checkpoint whose newest intact, sha256-verified round is used.
+func loadBundle(path string) (bundle []byte, src string, err error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if st.IsDir() {
+		models, round, err := pet.LoadFleetCheckpoint(path)
+		if err != nil {
+			return nil, "", err
+		}
+		return models, fmt.Sprintf("checkpoint round %d", round), nil
+	}
+	data, err := os.ReadFile(path)
+	return data, "bundle file", err
+}

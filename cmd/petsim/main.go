@@ -6,6 +6,7 @@
 //	petsim -scheme SECN1 -topo small -duration 100ms
 //	petsim -scheme PET -models pet.model      # offline-trained weights
 //	petsim -scheme PET -transport dctcp       # window-based end hosts
+//	petsim -telemetry :8080                   # live /metrics while running
 //	petsim -list-schemes                      # registered scheme names
 package main
 
@@ -43,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listS      = fs.Bool("list-schemes", false, "print the registered scheme names and exit")
 		listT      = fs.Bool("list-transports", false, "print the registered transport names and exit")
 	)
+	var tf pet.TelemetryFlag
+	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -102,6 +105,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		s.Models = data
 	}
+
+	if err := tf.Start(func(format string, a ...any) {
+		fmt.Fprintf(stderr, format+"\n", a...)
+	}); err != nil {
+		return fatalf("telemetry: %v", err)
+	}
+	defer tf.Stop()
+	s.Telemetry = tf.Registry
 
 	s.Trace = *traceF != ""
 	start := time.Now()

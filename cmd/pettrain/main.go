@@ -57,27 +57,28 @@ import (
 
 func main() {
 	var (
-		topoF      = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
-		wlF        = flag.String("workload", "websearch", "websearch | datamining")
-		load       = flag.Float64("load", 0.6, "offered training load")
-		dur        = flag.Duration("duration", 100*time.Millisecond, "simulated training time per episode")
-		seed       = flag.Int64("seed", 1, "root random seed")
-		out        = flag.String("out", "pet.model", "output model bundle path")
-		workers    = flag.Int("workers", 1, "parallel rollout workers (0 = all cores)")
-		rounds     = flag.Int("rounds", 1, "synchronized merge rounds")
-		ckpt       = flag.String("checkpoint", "", "checkpoint directory (atomic per-round bundle + manifest)")
-		resume     = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint")
-		allowWC    = flag.Bool("allow-worker-change", false, "permit resuming with a different worker count (changes the training trajectory)")
-		retries    = flag.Int("retries", 2, "per-episode retries after a failure, panic or blown deadline (fresh seed per attempt)")
-		epTimeout  = flag.Duration("episode-timeout", 0, "wall-clock deadline per episode attempt (0 = unbounded)")
-		quorum     = flag.Int("quorum", 0, "minimum successful episodes to merge a round (0 = all workers; less marks the round degraded)")
-		keepCkpt   = flag.Int("keep-checkpoints", 3, "round-stamped bundles retained for corruption fallback on resume")
-		telemetryF = flag.String("telemetry", "", "serve live metrics on this address (e.g. :8080): /metrics, /snapshot, /debug/pprof")
-		traceCSV   = flag.String("tracecsv", "", "write per-round telemetry as CSV to this file")
-		quiet      = flag.Bool("q", false, "suppress per-round progress on stderr")
-		listS      = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
-		listT      = flag.Bool("list-transports", false, "print the registered transport names and exit")
+		topoF     = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		wlF       = flag.String("workload", "websearch", "websearch | datamining")
+		load      = flag.Float64("load", 0.6, "offered training load")
+		dur       = flag.Duration("duration", 100*time.Millisecond, "simulated training time per episode")
+		seed      = flag.Int64("seed", 1, "root random seed")
+		out       = flag.String("out", "pet.model", "output model bundle path")
+		workers   = flag.Int("workers", 1, "parallel rollout workers (0 = all cores)")
+		rounds    = flag.Int("rounds", 1, "synchronized merge rounds")
+		ckpt      = flag.String("checkpoint", "", "checkpoint directory (atomic per-round bundle + manifest)")
+		resume    = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint")
+		allowWC   = flag.Bool("allow-worker-change", false, "permit resuming with a different worker count (changes the training trajectory)")
+		retries   = flag.Int("retries", 2, "per-episode retries after a failure, panic or blown deadline (fresh seed per attempt)")
+		epTimeout = flag.Duration("episode-timeout", 0, "wall-clock deadline per episode attempt (0 = unbounded)")
+		quorum    = flag.Int("quorum", 0, "minimum successful episodes to merge a round (0 = all workers; less marks the round degraded)")
+		keepCkpt  = flag.Int("keep-checkpoints", 3, "round-stamped bundles retained for corruption fallback on resume")
+		traceCSV  = flag.String("tracecsv", "", "write per-round telemetry as CSV to this file")
+		quiet     = flag.Bool("q", false, "suppress per-round progress on stderr")
+		listS     = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
+		listT     = flag.Bool("list-transports", false, "print the registered transport names and exit")
 	)
+	var tf pet.TelemetryFlag
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 	if *listS {
 		for _, name := range pet.SchemeNames() {
@@ -135,18 +136,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pettrain: "+format+"\n", a...)
 		},
 	}
-	if *telemetryF != "" || *traceCSV != "" {
-		cfg.Telemetry = pet.NewTelemetry()
+	if *traceCSV != "" {
+		// The CSV flush needs a registry even when nothing is served.
+		tf.Registry = pet.NewTelemetry()
 	}
-	if *telemetryF != "" {
-		srv, err := pet.ServeTelemetry(*telemetryF, cfg.Telemetry)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pettrain: telemetry: %v\n", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /snapshot, /debug/pprof)\n", srv.Addr)
+	if err := tf.Start(func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "pettrain: telemetry: %v\n", err)
+		os.Exit(1)
 	}
+	defer tf.Stop() // drain in-flight scrapes instead of snapping them
+	cfg.Telemetry = tf.Registry
 	var rec *pet.TraceRecorder
 	if *traceCSV != "" {
 		rec = pet.NewTraceRecorder(0)

@@ -5,6 +5,7 @@ import (
 
 	"pet/internal/sim"
 	"pet/internal/stats"
+	"pet/internal/telemetry"
 	"pet/internal/topo"
 	"pet/internal/workload"
 )
@@ -29,6 +30,11 @@ type Runner struct {
 	IncastFraction float64
 	IncastFanIn    int
 
+	// Telemetry, when non-nil, is threaded into every scenario the runner
+	// executes (pre-training episodes included) so a long petbench sweep
+	// can be watched live over HTTP. Observation-only, like everywhere.
+	Telemetry *telemetry.Registry
+
 	cache     map[string]Result
 	petModels map[string][]byte
 }
@@ -50,17 +56,9 @@ func NewRunner() *Runner {
 	}
 }
 
-// betas returns the paper's per-workload reward weights (Sec. 5.2).
-func betas(wl *workload.CDF) (b1, b2 float64) {
-	if wl.Name() == "DataMining" {
-		return 0.7, 0.3
-	}
-	return 0.3, 0.7
-}
-
 // scenario builds the canonical scenario for one (scheme, workload, load).
 func (r *Runner) scenario(scheme Scheme, wl *workload.CDF, load float64) (Scenario, error) {
-	b1, b2 := betas(wl)
+	b1, b2 := DefaultBetas(wl)
 	s := Scenario{
 		Topo:           r.Topo,
 		Seed:           r.Seed,
@@ -73,6 +71,7 @@ func (r *Runner) scenario(scheme Scheme, wl *workload.CDF, load float64) (Scenar
 		Beta2:          b2,
 		Warmup:         r.Warmup,
 		Duration:       r.Duration,
+		Telemetry:      r.Telemetry,
 	}
 	switch scheme {
 	case SchemePET, SchemePETAblated:
@@ -98,7 +97,7 @@ func (r *Runner) pretrained(scheme Scheme, wl *workload.CDF) ([]byte, error) {
 	if m, ok := r.petModels[key]; ok {
 		return m, nil
 	}
-	b1, b2 := betas(wl)
+	b1, b2 := DefaultBetas(wl)
 	m, err := PretrainPET(Scenario{
 		Topo:           r.Topo,
 		Seed:           r.Seed + 1000,
@@ -109,6 +108,7 @@ func (r *Runner) pretrained(scheme Scheme, wl *workload.CDF) ([]byte, error) {
 		Scheme:         scheme,
 		Beta1:          b1,
 		Beta2:          b2,
+		Telemetry:      r.Telemetry,
 	}, r.TrainTime)
 	if err != nil {
 		return nil, err

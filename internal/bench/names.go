@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+
+	"pet/internal/topo"
+	"pet/internal/workload"
+)
+
+// This file is the shared name → configuration plumbing the CLIs and the
+// petd experiment API select fabrics and workloads with, so "tiny",
+// "websearch" etc. mean the same thing everywhere.
+
+// TopoByName returns the fabric scale registered under name: "tiny" (the
+// default for an empty name), "small" or "paper".
+func TopoByName(name string) (topo.LeafSpineConfig, error) {
+	switch name {
+	case "", "tiny":
+		return topo.TinyScale(), nil
+	case "small":
+		return topo.SmallScale(), nil
+	case "paper":
+		return topo.PaperScale(), nil
+	}
+	return topo.LeafSpineConfig{}, fmt.Errorf("bench: unknown topo %q (want tiny|small|paper)", name)
+}
+
+// WorkloadByName returns the flow-size distribution registered under name:
+// "websearch" (the default for an empty name) or "datamining".
+func WorkloadByName(name string) (*workload.CDF, error) {
+	switch name {
+	case "", "websearch":
+		return workload.WebSearch(), nil
+	case "datamining":
+		return workload.DataMining(), nil
+	}
+	return nil, fmt.Errorf("bench: unknown workload %q (want websearch|datamining)", name)
+}
+
+// DefaultBetas returns the paper's per-workload reward weights (Sec. 5.2):
+// (0.3, 0.7) for Web Search, (0.7, 0.3) for Data Mining.
+func DefaultBetas(wl *workload.CDF) (b1, b2 float64) {
+	if wl != nil && wl.Name() == "DataMining" {
+		return 0.7, 0.3
+	}
+	return 0.3, 0.7
+}

@@ -174,6 +174,21 @@ func TransportNames() []TransportKind {
 	return names
 }
 
+// ValidateScheme checks that a scheme name is registered, returning an
+// *UnknownSchemeError when it is not — the eager form of the check Run
+// performs at assembly, for callers (the petd lifecycle API) that want a
+// bad name to fail fast rather than asynchronously.
+func ValidateScheme(name Scheme) error {
+	_, err := schemeBuilder(name)
+	return err
+}
+
+// ValidateTransport is ValidateScheme for end-host transport names.
+func ValidateTransport(name TransportKind) error {
+	_, err := transportBuilder(name)
+	return err
+}
+
 func schemeBuilder(name Scheme) (SchemeBuilder, error) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()

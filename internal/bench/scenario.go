@@ -326,6 +326,21 @@ func (e *Env) addSeries(rec stats.FCTRecord) {
 
 // Run executes warmup then the measurement window, applying events.
 func (e *Env) Run() Result {
+	res, _ := e.RunContext(context.Background()) // Background never cancels
+	return res
+}
+
+// RunContext is Run with mid-simulation cancellation: the horizon is split
+// into chunks (see ctxCheckChunks) with a context check between each, so a
+// cancelled run — a petd job DELETE, a daemon shutdown — returns within one
+// chunk instead of simulating to the end. A cancelled run returns the
+// partial Result alongside an error wrapping ctx.Err(). Chunking is
+// invisible to the simulation: an uncancelled RunContext is byte-identical
+// to the historical single-RunUntil Run.
+func (e *Env) RunContext(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := e.Scenario
 	for _, ev := range s.Events {
 		ev := ev
@@ -342,7 +357,9 @@ func (e *Env) Run() Result {
 	})
 
 	e.Gen.Start()
-	e.Eng.RunUntil(s.Warmup)
+	if err := e.runUntilChunked(ctx, 0, s.Warmup); err != nil {
+		return e.result(), err
+	}
 	e.measuring = true
 	if s.Train && !s.TrainDuringMeasure {
 		// Switch from online training to decentralized execution. Schemes
@@ -351,9 +368,29 @@ func (e *Env) Run() Result {
 		// premise) treat SetTrain as a no-op.
 		e.Control.SetTrain(false)
 	}
-	e.Eng.RunUntil(s.Warmup + s.Duration)
+	err := e.runUntilChunked(ctx, s.Warmup, s.Warmup+s.Duration)
 	e.measuring = false
-	return e.result()
+	return e.result(), err
+}
+
+// runUntilChunked advances the engine from (engine time) from to until in
+// ctxCheckChunks steps, aborting between steps when ctx is cancelled.
+func (e *Env) runUntilChunked(ctx context.Context, from, until sim.Time) error {
+	step := (until - from) / ctxCheckChunks
+	if step <= 0 {
+		step = until - from
+	}
+	for now := from; now < until; {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("bench: run cancelled at %v of %v: %w", now, until, err)
+		}
+		now += step
+		if now > until {
+			now = until
+		}
+		e.Eng.RunUntil(now)
+	}
+	return ctx.Err()
 }
 
 // Result summarizes one completed run.

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"pet/internal/netsim"
+	"pet/internal/topo"
+)
+
+// This file is the serving-side inference surface: computing the RED/ECN
+// action a trained agent would install for a raw observation vector,
+// without driving (or even having) a live simulation. The petd daemon's
+// batched /infer endpoint is built on it — switches ship observations, the
+// policy answers with (Kmin, Kmax, Pmax).
+
+// AgentBySwitch returns the agent managing switch sw, or nil when the
+// controller has none (sw is a host, or not in the topology).
+func (c *Controller) AgentBySwitch(sw topo.NodeID) *SwitchAgent {
+	for _, a := range c.agents {
+		if a.Switch == sw {
+			return a
+		}
+	}
+	return nil
+}
+
+// InferECN computes the deterministic (argmax) ECN configuration this
+// agent's current policy selects for one raw observation vector, without
+// installing it on any queue or advancing any agent state. obs must be the
+// flattened HistoryK-slot observation (Config().ObsDim() values); acts is
+// caller-owned scratch of at least len(Config().Heads()) entries, so the
+// hot path allocates nothing. Like training, inference is not safe for
+// concurrent use on one agent — callers pool controller replicas.
+func (a *SwitchAgent) InferECN(obs []float64, acts []int) (netsim.ECNConfig, error) {
+	if len(obs) != a.cfg.ObsDim() {
+		return netsim.ECNConfig{}, fmt.Errorf(
+			"core: switch %d observation has %d values, want %d (HistoryK=%d × %d features)",
+			a.Switch, len(obs), a.cfg.ObsDim(), a.cfg.HistoryK, featuresPerSlot)
+	}
+	if want := len(a.cfg.Heads()); len(acts) < want {
+		return netsim.ECNConfig{}, fmt.Errorf("core: action scratch has %d slots, want %d", len(acts), want)
+	}
+	a.agent.ActionsInto(obs, acts)
+	return a.cfg.ActionToECN(acts), nil
+}

@@ -219,6 +219,19 @@ func (a *Agent) Value(state []float64) float64 {
 	return a.critic.Forward(state)[0]
 }
 
+// ActionsInto writes the deterministic (argmax) action per head into
+// actions, which must hold at least len(Heads) entries. It runs the policy
+// networks only — no sampling, no critic pass, no allocation — and is the
+// serving fast path: given equal weights it picks exactly the actions
+// Act(state, false) would. Like every Agent method it is not safe for
+// concurrent use; serving layers keep a pool of agent replicas instead.
+func (a *Agent) ActionsInto(state []float64, actions []int) {
+	a.forwardPolicy(state)
+	for i := range a.heads {
+		actions[i] = mat.ArgMax(a.probs[i])
+	}
+}
+
 // UpdateStats summarizes one Update call.
 type UpdateStats struct {
 	PolicyLoss float64

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+
+	"pet/internal/bench"
+	"pet/internal/core"
+	"pet/internal/telemetry"
+	"pet/internal/topo"
+)
+
+// The batched inference service: observations in, RED parameters out. This
+// is the paper's deployment loop inverted into a server — instead of agents
+// living on switches, thousands of switches poll the daemon every Δt with
+// their latest NCM observation and install the (Kmin, Kmax, Pmax) they get
+// back.
+//
+// Concurrency model: ppo agents share per-agent scratch and are not
+// goroutine-safe, so the service builds Replicas identical controller
+// replicas from the same bundle at startup and leases them through a
+// buffered channel. One request leases one replica for its whole batch;
+// leases bound concurrency naturally (a saturated pool queues requests
+// instead of corrupting scratch). The per-batch hot path — lease, validate,
+// forward passes, action translation — allocates nothing; JSON
+// encode/decode at the HTTP boundary is the only steady-state allocator.
+
+// ObsRequest is one switch's observation: the flattened HistoryK-slot
+// feature vector its NCM maintains (ObsDim values).
+type ObsRequest struct {
+	Switch int       `json:"switch"`
+	Obs    []float64 `json:"obs"`
+}
+
+// ECNAction is one switch's answer: the RED/ECN marking configuration the
+// policy selects for that observation.
+type ECNAction struct {
+	Switch    int     `json:"switch"`
+	KminBytes int     `json:"kmin_bytes"`
+	KmaxBytes int     `json:"kmax_bytes"`
+	Pmax      float64 `json:"pmax"`
+}
+
+// InferRequest is the wire format of POST /infer.
+type InferRequest struct {
+	Requests []ObsRequest `json:"requests"`
+}
+
+// InferResponse is the answer: Actions[i] corresponds to Requests[i].
+type InferResponse struct {
+	ModelSHA256 string      `json:"model_sha256"`
+	Actions     []ECNAction `json:"actions"`
+}
+
+// InferInfo describes a loaded inference service (GET /healthz).
+type InferInfo struct {
+	ModelSHA256 string `json:"model_sha256"`
+	Switches    []int  `json:"switches"`
+	ObsDim      int    `json:"obs_dim"`
+	Replicas    int    `json:"replicas"`
+	MaxBatch    int    `json:"max_batch"`
+}
+
+// InferOptions parameterizes NewInferService.
+type InferOptions struct {
+	// Topo names the fabric the bundle was trained on (tiny|small|paper,
+	// default tiny); it determines the switch set and observation width.
+	Topo string
+	// Scheme is the registered control scheme to serve (default PET). It
+	// must assemble to a *core.Controller — the per-switch IPPO family.
+	Scheme string
+	// Replicas is the controller-replica pool size, the service's maximum
+	// request concurrency (0 = one per core, minimum 2).
+	Replicas int
+	// MaxBatch bounds observations per request (0 = 4096).
+	MaxBatch int
+	// Telemetry (nil ok) receives the petd_infer_* series.
+	Telemetry *telemetry.Registry
+}
+
+// replica is one single-threaded inference lane.
+type replica struct {
+	agents map[topo.NodeID]*core.SwitchAgent
+	acts   []int // action-head scratch, reused across the batch
+}
+
+// InferService answers observation batches from a pool of controller
+// replicas loaded from one model bundle.
+type InferService struct {
+	sha      string
+	obsDim   int
+	switches []int
+	maxBatch int
+	pool     chan *replica
+
+	requests, observations, errors *telemetry.Counter
+	batchObs                       *telemetry.Histogram
+}
+
+// NewInferService builds the replica pool from a model bundle (as written
+// by pettrain or a fleet checkpoint, and restored per replica through
+// Controller.LoadModels' validate-then-apply path — a corrupt bundle fails
+// construction, never a request).
+func NewInferService(bundle []byte, opts InferOptions) (*InferService, error) {
+	if len(bundle) == 0 {
+		return nil, fmt.Errorf("serve: empty model bundle")
+	}
+	if opts.Scheme == "" {
+		opts.Scheme = string(bench.SchemePET)
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = runtime.NumCPU()
+		if opts.Replicas < 2 {
+			opts.Replicas = 2
+		}
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 4096
+	}
+	topoCfg, err := bench.TopoByName(opts.Topo)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(bundle)
+	s := &InferService{
+		sha:          hex.EncodeToString(sum[:]),
+		maxBatch:     opts.MaxBatch,
+		pool:         make(chan *replica, opts.Replicas),
+		requests:     opts.Telemetry.Counter("petd_infer_requests_total"),
+		observations: opts.Telemetry.Counter("petd_infer_observations_total"),
+		errors:       opts.Telemetry.Counter("petd_infer_errors_total"),
+		batchObs:     opts.Telemetry.Histogram("petd_infer_batch_obs", telemetry.ExpBuckets(1, 2, 13)),
+	}
+	scenario := bench.Scenario{
+		Topo:   topoCfg,
+		Scheme: bench.Scheme(opts.Scheme),
+		Models: bundle,
+	}
+	for i := 0; i < opts.Replicas; i++ {
+		env, err := bench.NewEnv(scenario)
+		if err != nil {
+			return nil, fmt.Errorf("serve: assembling inference replica %d: %w", i, err)
+		}
+		ctl, ok := env.Control.(*core.Controller)
+		if !ok {
+			return nil, fmt.Errorf("serve: scheme %q is a %T, not the per-switch IPPO controller required for serving",
+				opts.Scheme, env.Control)
+		}
+		r := &replica{agents: map[topo.NodeID]*core.SwitchAgent{}}
+		for _, a := range ctl.Agents() {
+			r.agents[a.Switch] = a
+		}
+		if i == 0 {
+			cfg := ctl.Config()
+			s.obsDim = cfg.ObsDim()
+			r.sizeScratch(len(cfg.Heads()))
+			for _, a := range ctl.Agents() {
+				s.switches = append(s.switches, int(a.Switch))
+			}
+		} else {
+			r.sizeScratch(len(ctl.Config().Heads()))
+		}
+		s.pool <- r
+	}
+	return s, nil
+}
+
+func (r *replica) sizeScratch(heads int) { r.acts = make([]int, heads) }
+
+// ModelSHA256 returns the hex digest of the loaded bundle.
+func (s *InferService) ModelSHA256() string { return s.sha }
+
+// Info describes the service.
+func (s *InferService) Info() InferInfo {
+	return InferInfo{
+		ModelSHA256: s.sha,
+		Switches:    s.switches,
+		ObsDim:      s.obsDim,
+		Replicas:    cap(s.pool),
+		MaxBatch:    s.maxBatch,
+	}
+}
+
+// Infer answers one batch: out[i] receives the action for reqs[i], and out
+// must be at least len(reqs) long. The batch is validated before the first
+// forward pass, so an error means no partial work; the computation itself
+// allocates nothing. Safe for concurrent use — each call leases one
+// replica for its duration.
+func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) error {
+	s.requests.Inc()
+	if len(reqs) == 0 {
+		s.errors.Inc()
+		return fmt.Errorf("serve: empty inference batch")
+	}
+	if len(reqs) > s.maxBatch {
+		s.errors.Inc()
+		return fmt.Errorf("serve: batch of %d observations exceeds the %d maximum", len(reqs), s.maxBatch)
+	}
+	if len(out) < len(reqs) {
+		s.errors.Inc()
+		return fmt.Errorf("serve: output scratch holds %d actions, batch has %d", len(out), len(reqs))
+	}
+
+	r := <-s.pool
+	defer func() { s.pool <- r }()
+
+	for i := range reqs {
+		req := &reqs[i]
+		a := r.agents[topo.NodeID(req.Switch)]
+		if a == nil {
+			s.errors.Inc()
+			return fmt.Errorf("serve: request %d: no agent for switch %d (serving switches %v)",
+				i, req.Switch, s.switches)
+		}
+		if len(req.Obs) != s.obsDim {
+			s.errors.Inc()
+			return fmt.Errorf("serve: request %d: switch %d observation has %d values, want %d",
+				i, req.Switch, len(req.Obs), s.obsDim)
+		}
+	}
+	for i := range reqs {
+		req := &reqs[i]
+		cfg, err := r.agents[topo.NodeID(req.Switch)].InferECN(req.Obs, r.acts)
+		if err != nil { // unreachable post-validation; belt and braces
+			s.errors.Inc()
+			return err
+		}
+		out[i] = ECNAction{
+			Switch:    req.Switch,
+			KminBytes: cfg.KminBytes,
+			KmaxBytes: cfg.KmaxBytes,
+			Pmax:      cfg.Pmax,
+		}
+	}
+	s.observations.Add(uint64(len(reqs)))
+	s.batchObs.Observe(float64(len(reqs)))
+	return nil
+}

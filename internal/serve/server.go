@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pet/internal/telemetry"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Telemetry is the registry every job instruments and the SSE stream
+	// snapshots (nil = a fresh private registry).
+	Telemetry *telemetry.Registry
+	// Infer (nil ok) serves POST /infer; without it the endpoint answers
+	// 503 so pollers can distinguish "no model loaded" from "bad daemon".
+	Infer *InferService
+	// SSEInterval is the default /events push period (0 = 1s).
+	SSEInterval time.Duration
+	// MaxJobs bounds concurrently simulating experiments (0 = 1).
+	MaxJobs int
+	// Logf (nil = silent) receives one line per job state change.
+	Logf func(format string, a ...any)
+}
+
+// Server is the resident control plane: experiment lifecycle, SSE telemetry
+// and batched inference behind one http.Handler.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+	mgr *Manager
+
+	done      chan struct{} // closed by Shutdown before the HTTP drain
+	closeOnce sync.Once
+
+	sseClients *telemetry.Gauge
+}
+
+// New assembles a server from its config.
+func New(cfg Config) *Server {
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	if cfg.SSEInterval <= 0 {
+		cfg.SSEInterval = time.Second
+	}
+	return &Server{
+		cfg:        cfg,
+		reg:        cfg.Telemetry,
+		mgr:        NewManager(cfg.MaxJobs, cfg.Telemetry, cfg.Logf),
+		done:       make(chan struct{}),
+		sseClients: cfg.Telemetry.Gauge("petd_sse_clients"),
+	}
+}
+
+// Jobs exposes the job manager (tests and embedders).
+func (s *Server) Jobs() *Manager { return s.mgr }
+
+// Handler routes the control-plane API. Anything outside the API namespace
+// falls through to the telemetry handler, so one listener serves
+// /experiments, /events and /infer alongside /metrics, /snapshot and
+// /debug/pprof.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /experiments", s.handleLaunch)
+	mux.HandleFunc("GET /experiments", s.handleList)
+	mux.HandleFunc("GET /experiments/{id}", s.handleGet)
+	mux.HandleFunc("GET /experiments/{id}/models", s.handleModels)
+	mux.HandleFunc("DELETE /experiments/{id}", s.handleCancel)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("POST /infer", s.handleInfer)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("/", telemetry.Handler(s.reg))
+	return mux
+}
+
+// Start binds addr (e.g. ":8080" or ":0") and serves Handler in a
+// background goroutine with the repo's hardened listener settings. Stop the
+// returned server through Server.Shutdown, not http.Server.Shutdown, so SSE
+// streams say goodbye instead of pinning the drain.
+func (s *Server) Start(addr string) (*http.Server, error) {
+	return telemetry.ServeHandler(addr, s.Handler())
+}
+
+// Shutdown drains the control plane: it releases SSE streams (they hold
+// connections open indefinitely and would otherwise pin http.Server.Shutdown
+// until its deadline), cancels every live job and waits for the drain —
+// pre-training jobs write their final checkpoint on the way out — then
+// gracefully stops the HTTP server (nil ok) within what remains of ctx.
+func (s *Server) Shutdown(ctx context.Context, srv *http.Server) error {
+	s.closeOnce.Do(func() { close(s.done) })
+	err := s.mgr.Shutdown(ctx)
+	if srv != nil {
+		if herr := srv.Shutdown(ctx); herr != nil {
+			_ = srv.Close()
+			if err == nil {
+				err = herr
+			}
+		}
+	}
+	return err
+}
+
+// writeJSON answers one API request.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// maxBodyBytes bounds API request bodies; specs and observation batches for
+// the paper fabric fit comfortably under it.
+const maxBodyBytes = 8 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var spec ExperimentSpec
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.mgr.Launch(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errShuttingDown) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleModels downloads a finished pretrain job's trained bundle, ready to
+// feed back into petd -models or petsim -models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	models, ok := s.mgr.Models(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no trained bundle for job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(models)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.mgr.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Infer == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: no model bundle loaded (start petd with -models)"))
+		return
+	}
+	var req InferRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := InferResponse{
+		ModelSHA256: s.cfg.Infer.ModelSHA256(),
+		Actions:     make([]ECNAction, len(req.Requests)),
+	}
+	if err := s.cfg.Infer.Infer(req.Requests, resp.Actions); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthzResponse is the GET /healthz document.
+type healthzResponse struct {
+	Status string     `json:"status"`
+	Jobs   int        `json:"jobs"`
+	Infer  *InferInfo `json:"infer,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := healthzResponse{Status: "ok", Jobs: len(s.mgr.List())}
+	if s.cfg.Infer != nil {
+		info := s.cfg.Infer.Info()
+		resp.Infer = &info
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

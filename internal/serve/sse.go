@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Live telemetry streaming: GET /events holds the response open and pushes
+// one event group per interval as server-sent events —
+//
+//	event: snapshot
+//	data: {"counters":{...},"gauges":{...},"histograms":{...}}
+//
+//	event: jobs
+//	data: [{"id":"exp-000001","state":"running",...}]
+//
+// so `curl -N host:port/events` or an EventSource dashboard watches queue
+// depths, marking rates and per-agent reward evolve during a run without
+// polling /snapshot. The interval is the server default, overridable per
+// client with ?interval=500ms (floored to avoid busy-looping the encoder).
+
+// minSSEInterval floors the per-client interval override.
+const minSSEInterval = 50 * time.Millisecond
+
+// sseInterval resolves one client's push interval.
+func (s *Server) sseInterval(r *http.Request) (time.Duration, error) {
+	iv := s.cfg.SSEInterval
+	if raw := r.URL.Query().Get("interval"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			return 0, fmt.Errorf("serve: bad interval %q: %v", raw, err)
+		}
+		iv = d
+	}
+	if iv < minSSEInterval {
+		iv = minSSEInterval
+	}
+	return iv, nil
+}
+
+// handleEvents streams snapshot+jobs event pairs until the client
+// disconnects or the server shuts down.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	interval, err := s.sseInterval(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "serve: streaming unsupported by this connection", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	// Ask EventSource clients to back off a little before reconnecting to
+	// a restarting daemon.
+	fmt.Fprintf(w, "retry: 2000\n\n")
+
+	s.sseClients.Add(1)
+	defer s.sseClients.Add(-1)
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	enc := json.NewEncoder(w)
+	for {
+		if err := s.pushEventPair(w, enc); err != nil {
+			return // client went away mid-write
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			// Graceful daemon shutdown: say goodbye so well-behaved clients
+			// can distinguish it from a dropped connection.
+			fmt.Fprintf(w, "event: shutdown\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// pushEventPair writes one snapshot event and one jobs event.
+func (s *Server) pushEventPair(w http.ResponseWriter, enc *json.Encoder) error {
+	// json.Encoder writes compact single-line JSON followed by '\n', which
+	// is exactly one SSE data line.
+	if _, err := fmt.Fprintf(w, "event: snapshot\ndata: "); err != nil {
+		return err
+	}
+	if err := enc.Encode(s.reg.Snapshot()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nevent: jobs\ndata: "); err != nil {
+		return err
+	}
+	if err := enc.Encode(s.mgr.List()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\n")
+	return err
+}

@@ -1,9 +1,27 @@
 package telemetry
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
+)
+
+// Server hardening applied to every HTTP listener this repo binds (the
+// telemetry endpoint and the petd daemon):
+//
+//   - ReadHeaderTimeout bounds how long a connection may dribble its request
+//     header, closing the classic slowloris hold-open.
+//   - IdleTimeout reaps keep-alive connections parked between requests.
+//
+// Deliberately absent: ReadTimeout and WriteTimeout. The endpoints include
+// legitimately long-lived responses — /events streams SSE for the client's
+// lifetime and /debug/pprof/profile blocks for its sampling window — which
+// an absolute write deadline would sever mid-stream.
+const (
+	readHeaderTimeout = 5 * time.Second
+	idleTimeout       = 2 * time.Minute
 )
 
 // Handler serves a registry over HTTP:
@@ -33,13 +51,40 @@ func Handler(r *Registry) http.Handler {
 
 // Serve binds addr (e.g. ":8080") and serves Handler(r) in a background
 // goroutine. The returned server's Addr holds the bound address (useful
-// with ":0"); shut it down with Close or Shutdown.
+// with ":0"); shut it down with Drain (graceful) or Close.
 func Serve(addr string, r *Registry) (*http.Server, error) {
+	return ServeHandler(addr, Handler(r))
+}
+
+// ServeHandler binds addr and serves an arbitrary handler in a background
+// goroutine with the package's hardened server settings — the shared
+// listener plumbing behind both the telemetry endpoint and the petd
+// daemon. The returned server's Addr holds the bound address.
+func ServeHandler(addr string, h http.Handler) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(r)}
+	srv := &http.Server{
+		Addr:              ln.Addr().String(),
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, nil
+}
+
+// Drain gracefully closes a server returned by Serve/ServeHandler: it stops
+// accepting new connections and waits up to timeout for in-flight requests
+// to finish, then force-closes whatever remains. Always safe to defer; a
+// fully drained server returns nil.
+func Drain(srv *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	return nil
 }

@@ -37,7 +37,9 @@ package pet
 
 import (
 	"context"
+	"flag"
 	"net/http"
+	"time"
 
 	"pet/internal/acc"
 	"pet/internal/bench"
@@ -47,6 +49,7 @@ import (
 	_ "pet/internal/dynecn" // register the AMT/QAECN baseline schemes
 	"pet/internal/fleet"
 	"pet/internal/netsim"
+	"pet/internal/serve"
 	"pet/internal/sim"
 	_ "pet/internal/staticecn" // register the SECN1/SECN2 baseline schemes
 	"pet/internal/stats"
@@ -361,14 +364,121 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // ServeTelemetry serves a registry over HTTP in the background: /metrics
 // (Prometheus text format), /snapshot (JSON) and /debug/pprof. The returned
-// server's Addr holds the bound address; shut it down with Close.
+// server's Addr holds the bound address; shut it down with DrainTelemetry
+// (graceful) or Close.
 func ServeTelemetry(addr string, r *Telemetry) (*http.Server, error) {
 	return telemetry.Serve(addr, r)
+}
+
+// DrainTelemetry gracefully stops a server returned by ServeTelemetry or
+// Daemon.Start: it stops accepting connections and waits up to timeout for
+// in-flight requests (a scrape, a pprof profile) to finish, then
+// force-closes whatever remains.
+func DrainTelemetry(srv *http.Server, timeout time.Duration) error {
+	return telemetry.Drain(srv, timeout)
+}
+
+// TelemetryFlag is the shared -telemetry plumbing of the CLIs (petsim,
+// petbench, pettrain): Register it on a FlagSet, Start it after parsing,
+// and defer Stop. With the flag unset, Start and Stop are no-ops and
+// Registry stays as the caller left it (usually nil, which every consumer
+// accepts); with -telemetry :8080, Start creates Registry if the caller has
+// not pre-seeded one and serves it in the background.
+type TelemetryFlag struct {
+	Addr     string     // the flag value
+	Registry *Telemetry // served registry; created by Start when unset
+
+	srv *http.Server
+}
+
+// Register installs the -telemetry flag.
+func (t *TelemetryFlag) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.Addr, "telemetry", "",
+		"serve live metrics on this address (e.g. :8080): /metrics, /snapshot, /debug/pprof")
+}
+
+// Start begins serving if the flag was set; logf (nil = silent) receives
+// one line with the bound endpoint.
+func (t *TelemetryFlag) Start(logf func(format string, a ...any)) error {
+	if t.Addr == "" {
+		return nil
+	}
+	if t.Registry == nil {
+		t.Registry = NewTelemetry()
+	}
+	srv, err := ServeTelemetry(t.Addr, t.Registry)
+	if err != nil {
+		return err
+	}
+	t.srv = srv
+	if logf != nil {
+		logf("telemetry: http://%s/metrics (also /snapshot, /debug/pprof)", srv.Addr)
+	}
+	return nil
+}
+
+// Stop drains the endpoint, letting an in-flight scrape finish.
+func (t *TelemetryFlag) Stop() error {
+	if t.srv == nil {
+		return nil
+	}
+	return DrainTelemetry(t.srv, 5*time.Second)
 }
 
 // NewTraceRecorder returns a recorder keeping at most limit events
 // (0 = unlimited).
 func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
+
+// Resident control plane (internal/serve) — the subsystem behind the petd
+// daemon: an experiment lifecycle API, SSE telemetry streaming and a
+// batched inference service on one HTTP listener.
+type (
+	// Daemon is the assembled control plane.
+	Daemon = serve.Server
+	// DaemonConfig parameterizes a Daemon.
+	DaemonConfig = serve.Config
+	// ExperimentSpec is the POST /experiments wire format.
+	ExperimentSpec = serve.ExperimentSpec
+	// JobStatus is the JSON view of one managed experiment.
+	JobStatus = serve.JobStatus
+	// JobState is an experiment's lifecycle position.
+	JobState = serve.JobState
+	// InferService answers observation batches from a replica pool.
+	InferService = serve.InferService
+	// InferOptions parameterizes NewInferService.
+	InferOptions = serve.InferOptions
+	// InferRequest is the POST /infer wire format.
+	InferRequest = serve.InferRequest
+	// InferResponse answers an InferRequest.
+	InferResponse = serve.InferResponse
+	// ObsRequest is one switch's observation within an InferRequest.
+	ObsRequest = serve.ObsRequest
+	// ECNAction is one switch's resulting RED configuration.
+	ECNAction = serve.ECNAction
+)
+
+// NewDaemon assembles the control plane; serve it with Daemon.Start and
+// stop it with Daemon.Shutdown.
+func NewDaemon(cfg DaemonConfig) *Daemon { return serve.New(cfg) }
+
+// NewInferService loads a model bundle (from pettrain, a fleet checkpoint,
+// or a finished pretrain job) into a pool of controller replicas for
+// serving.
+func NewInferService(bundle []byte, opts InferOptions) (*InferService, error) {
+	return serve.NewInferService(bundle, opts)
+}
+
+// LoadFleetCheckpoint reads the newest intact bundle of a fleet checkpoint
+// directory, verified against its manifest's sha256, falling back to older
+// retained rounds when the latest is corrupt. The returned round counts the
+// completed merge rounds the bundle covers.
+func LoadFleetCheckpoint(dir string) (models []byte, round int, err error) {
+	m, models, _, err := fleet.LoadCheckpointFallback(dir, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return models, m.Round, nil
+}
 
 // Statistics.
 type (
