@@ -1,7 +1,7 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve serve-smoke results test-chaos test-pool ci
+.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve serve-smoke results test-chaos test-pool test-store ci
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,14 @@ bench-serve:
 	$(GO) test -run='^$$' -bench=BenchmarkInferServe -benchmem ./internal/serve/ \
 		| $(GO) run ./cmd/benchjson -label serve -out BENCH_serve.json
 
+# Store tier: the versioned model store and the serving hot-swap path under
+# the race detector, twice (-count=2 exercises store GC and channel moves
+# against a directory that already holds prior state): content-addressed
+# versions, channel pointers, crash-tail log recovery, the shadow-eval
+# promotion gate, and the 100-poller never-torn swap parity suite.
+test-store:
+	$(GO) test -race -count=2 -run 'Store|Swap|Promote|Gate|Channel|GC|Version|Model' ./internal/modelstore/ ./internal/serve/
+
 # Serve smoke tier: boot petd on an ephemeral port and drive the whole
 # control plane over real HTTP — experiment lifecycle (launch, inspect,
 # cancel), SSE streaming, batched inference from a freshly trained bundle,
@@ -85,4 +93,4 @@ serve-smoke:
 results:
 	$(GO) run ./cmd/petbench -quick -exp all > petbench_results.txt
 
-ci: build build-examples vet lint test test-cli test-pool serve-smoke race test-chaos
+ci: build build-examples vet lint test test-cli test-pool test-store serve-smoke race test-chaos

@@ -24,19 +24,24 @@ import (
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiments or 'all'")
-		topoF  = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
-		seed   = flag.Int64("seed", 1, "root random seed")
-		seeds  = flag.Int("seeds", 1, "independent seeds averaged per result cell")
-		loads  = flag.String("loads", "0.3,0.5,0.7", "comma-separated offered loads")
-		quick  = flag.Bool("quick", false, "shrink training and measurement windows")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
-		listS  = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
-		listT  = flag.Bool("list-transports", false, "print the registered transport names and exit")
+		exps    = flag.String("exp", "all", "comma-separated experiments or 'all'")
+		topoF   = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		seed    = flag.Int64("seed", 1, "root random seed")
+		seeds   = flag.Int("seeds", 1, "independent seeds averaged per result cell")
+		loads   = flag.String("loads", "0.3,0.5,0.7", "comma-separated offered loads")
+		quick   = flag.Bool("quick", false, "shrink training and measurement windows")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		listS   = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
+		listT   = flag.Bool("list-transports", false, "print the registered transport names and exit")
+		version = flag.Bool("version", false, "print the build identity and exit")
 	)
 	var tf pet.TelemetryFlag
 	tf.Register(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(pet.ReadBuildInfo())
+		return
+	}
 	if *listS {
 		for _, name := range pet.SchemeNames() {
 			fmt.Println(name)

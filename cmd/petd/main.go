@@ -1,6 +1,7 @@
 // Command petd is the resident control-plane daemon: it keeps the
-// simulator, the training fleet and a trained policy resident behind one
-// HTTP listener so experiments launch with a POST instead of a process.
+// simulator, the training fleet, a trained policy and a versioned model
+// store resident behind one HTTP listener, so experiments launch with a
+// POST and new policies roll out with a promote instead of a restart.
 //
 // Usage:
 //
@@ -8,6 +9,7 @@
 //	petd -addr :9090 -max-jobs 2              # two experiments simulate at once
 //	petd -models pet.model -topo tiny         # also serve POST /infer
 //	petd -models ckpt/                        # bundle from a fleet checkpoint dir
+//	petd -store models/                       # versioned store: /models API, boot from "serving"
 //	petd -list-schemes                        # registered scheme names
 //
 // Endpoints:
@@ -19,7 +21,12 @@
 //	DELETE /experiments/{id}   cancel (pretrain jobs checkpoint on the way out)
 //	GET    /events             server-sent events: telemetry + job snapshots
 //	POST   /infer              batched observations -> (Kmin, Kmax, Pmax) actions
-//	GET    /healthz            daemon and model-bundle status
+//	POST   /models             ingest a candidate bundle (raw bytes or ?from=jobID)
+//	GET    /models             versions, channels, live serving identity
+//	GET    /models/{ref}       one version or channel (?download=1 for the bytes)
+//	POST   /models/{ref}/promote   shadow-eval gate, then atomic hot-swap
+//	GET    /healthz            daemon, model and store status
+//	GET    /version            build identity of the running daemon
 //	GET    /metrics, /snapshot, /debug/pprof/...   the telemetry endpoints
 //
 // Watch a run live with `curl -N http://host:port/events`. SIGINT/SIGTERM
@@ -57,6 +64,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		addr     = fs.String("addr", ":9090", "listen address (\":0\" binds an ephemeral port, reported on stdout)")
 		models   = fs.String("models", "", "serve POST /infer from this model bundle file or fleet checkpoint directory")
+		storeDir = fs.String("store", "", "versioned model store directory: enables the /models API and, without -models, boots /infer from the store's \"serving\" channel")
+		keep     = fs.Int("keep-versions", 0, "store GC retention after each promotion (0 = 5; channel-pinned versions always survive)")
 		topoF    = fs.String("topo", "tiny", "fabric the bundle was trained on: tiny|small|paper")
 		schemeF  = fs.String("scheme", "PET", "registered scheme name served by /infer (see -list-schemes)")
 		replicas = fs.Int("replicas", 0, "inference replica pool size = max concurrent /infer requests (0 = one per core)")
@@ -66,9 +75,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		quiet    = fs.Bool("q", false, "suppress job progress on stderr")
 		listS    = fs.Bool("list-schemes", false, "print the registered scheme names and exit")
 		listT    = fs.Bool("list-transports", false, "print the registered transport names and exit")
+		version  = fs.Bool("version", false, "print the build identity and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, pet.ReadBuildInfo())
+		return 0
 	}
 	if *listS {
 		for _, name := range pet.SchemeNames() {
@@ -94,32 +108,59 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	reg := pet.NewTelemetry()
+	inferOpts := pet.InferOptions{
+		Topo:      *topoF,
+		Scheme:    *schemeF,
+		Replicas:  *replicas,
+		Telemetry: reg,
+	}
+
+	var store *pet.ModelStore
+	if *storeDir != "" {
+		var err error
+		if store, err = pet.OpenModelStore(*storeDir); err != nil {
+			return fatalf("opening model store: %v", err)
+		}
+		logf("model store %s (%d versions)", *storeDir, len(store.Versions()))
+	}
+
 	var infer *pet.InferService
 	if *models != "" {
-		bundle, src, err := loadBundle(*models)
+		bundle, src, err := loadBundle(*models, logf)
 		if err != nil {
 			return fatalf("loading models: %v", err)
 		}
-		infer, err = pet.NewInferService(bundle, pet.InferOptions{
-			Topo:      *topoF,
-			Scheme:    *schemeF,
-			Replicas:  *replicas,
-			Telemetry: reg,
-		})
-		if err != nil {
+		if infer, err = pet.NewInferService(bundle, inferOpts); err != nil {
 			return fatalf("%v", err)
 		}
 		info := infer.Info()
 		logf("serving %s (%s, sha256 %.12s…, %d switches, %d replicas)",
 			*models, src, info.ModelSHA256, len(info.Switches), info.Replicas)
+	} else if store != nil {
+		// Boot from the store's serving channel when it has one, so a
+		// restarted daemon resumes serving the last promoted policy.
+		if vi, bundle, err := store.Resolve(pet.ModelChannelServing); err == nil {
+			opts := inferOpts
+			opts.Version = vi.Version
+			if infer, err = pet.NewInferService(bundle, opts); err != nil {
+				return fatalf("loading serving version %d from the store: %v", vi.Version, err)
+			}
+			logf("serving store version %d (sha256 %.12s…, channel %q)",
+				vi.Version, vi.SHA256, pet.ModelChannelServing)
+		} else {
+			logf("store has no serving channel yet; /infer waits for a promotion")
+		}
 	}
 
 	daemon := pet.NewDaemon(pet.DaemonConfig{
-		Telemetry:   reg,
-		Infer:       infer,
-		SSEInterval: *sse,
-		MaxJobs:     *maxJobs,
-		Logf:        logf,
+		Telemetry:    reg,
+		Infer:        infer,
+		Store:        store,
+		InferOpts:    inferOpts,
+		KeepVersions: *keep,
+		SSEInterval:  *sse,
+		MaxJobs:      *maxJobs,
+		Logf:         logf,
 	})
 	srv, err := daemon.Start(*addr)
 	if err != nil {
@@ -127,7 +168,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	// The single machine-parsable line: the bound address.
 	fmt.Fprintf(stdout, "addr=%s\n", srv.Addr)
-	logf("listening on http://%s (/experiments, /events, /infer, /healthz, /metrics)", srv.Addr)
+	logf("listening on http://%s (/experiments, /events, /infer, /models, /healthz, /metrics)", srv.Addr)
 
 	<-ctx.Done()
 	logf("shutting down (budget %v)", *drain)
@@ -142,14 +183,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 // loadBundle reads the /infer model bundle: a regular file holds raw
 // EncodeModels bytes (petsim/pettrain -out format); a directory is a fleet
-// checkpoint whose newest intact, sha256-verified round is used.
-func loadBundle(path string) (bundle []byte, src string, err error) {
+// checkpoint whose newest intact, sha256-verified round is used — any
+// skipped (corrupt or torn) candidates are logged through logf.
+func loadBundle(path string, logf func(format string, a ...any)) (bundle []byte, src string, err error) {
 	st, err := os.Stat(path)
 	if err != nil {
 		return nil, "", err
 	}
 	if st.IsDir() {
-		models, round, err := pet.LoadFleetCheckpoint(path)
+		models, round, err := pet.LoadFleetCheckpointLogged(path, logf)
 		if err != nil {
 			return nil, "", err
 		}

@@ -314,3 +314,117 @@ func TestDaemonPretrainJob(t *testing.T) {
 		t.Fatalf("downloaded bundle rejected: %v", err)
 	}
 }
+
+// TestDaemonVersionFlag: -version prints the build identity and exits 0.
+func TestDaemonVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &out, &errb); code != 0 {
+		t.Fatalf("-version exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "pet") {
+		t.Fatalf("-version output %q does not name the module", out.String())
+	}
+}
+
+// TestDaemonStoreLifecycle: ingest -> promote -> infer over a daemon
+// started with -store, then restart on the same directory and confirm the
+// serving channel survives (the restarted daemon answers /infer without
+// -models).
+func TestDaemonStoreLifecycle(t *testing.T) {
+	bundle, err := trainedBundle()
+	if err != nil {
+		t.Fatalf("pre-training bundle: %v", err)
+	}
+	storeDir := filepath.Join(t.TempDir(), "models")
+
+	base, stop := startDaemon(t, "-store", storeDir, "-replicas", "1")
+
+	// Fresh store, no serving channel: /infer is 503.
+	resp, err := http.Post(base+"/infer", "application/json",
+		strings.NewReader(`{"requests":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("model-less /infer = %d, want 503", resp.StatusCode)
+	}
+
+	// Ingest the bundle as a candidate.
+	resp, err = http.Post(base+"/models", "application/octet-stream", bytes.NewReader(bundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vi struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vi); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || vi.Version == 0 {
+		t.Fatalf("ingest: status %d, version %+v", resp.StatusCode, vi)
+	}
+
+	// Promote it. No incumbent, so the gate passes it alone.
+	resp, err = http.Post(fmt.Sprintf("%s/models/%d/promote", base, vi.Version), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote = %d: %s", resp.StatusCode, pbody)
+	}
+
+	// The promoted model answers /infer, stamped with its store version.
+	var hz struct {
+		Infer *struct {
+			Switches []int `json:"switches"`
+			ObsDim   int   `json:"obs_dim"`
+		} `json:"infer"`
+	}
+	getJSON(t, base+"/healthz", &hz)
+	if hz.Infer == nil {
+		t.Fatal("no infer service after promotion")
+	}
+	var infReq pet.InferRequest
+	infReq.Requests = []pet.ObsRequest{{Switch: hz.Infer.Switches[0], Obs: make([]float64, hz.Infer.ObsDim)}}
+	body, _ := json.Marshal(infReq)
+	resp, err = http.Post(base+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infResp pet.InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&infResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || infResp.ModelVersion != vi.Version {
+		t.Fatalf("post-promotion infer: status %d, model version %d (want %d)",
+			resp.StatusCode, infResp.ModelVersion, vi.Version)
+	}
+	if code := stop(); code != 0 {
+		t.Fatalf("petd exited %d", code)
+	}
+
+	// Restart on the same store: the daemon boots from the serving channel.
+	base, stop = startDaemon(t, "-store", storeDir, "-replicas", "1")
+	resp, err = http.Post(base+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	infResp = pet.InferResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&infResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || infResp.ModelVersion != vi.Version {
+		t.Fatalf("restarted daemon infer: status %d, model version %d (want %d)",
+			resp.StatusCode, infResp.ModelVersion, vi.Version)
+	}
+	if code := stop(); code != 0 {
+		t.Fatalf("petd exited %d on restart", code)
+	}
+}

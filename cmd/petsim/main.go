@@ -43,11 +43,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceF     = fs.String("trace", "", "write an event trace CSV to this path")
 		listS      = fs.Bool("list-schemes", false, "print the registered scheme names and exit")
 		listT      = fs.Bool("list-transports", false, "print the registered transport names and exit")
+		version    = fs.Bool("version", false, "print the build identity and exit")
 	)
 	var tf pet.TelemetryFlag
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, pet.ReadBuildInfo())
+		return 0
 	}
 	if *listS {
 		for _, name := range pet.SchemeNames() {

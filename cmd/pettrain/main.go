@@ -9,6 +9,7 @@
 //	pettrain -workers 8 -rounds 40 -checkpoint ckpt/ -resume -out pet.model
 //	pettrain -workers 4 -rounds 50 -telemetry :8080 -out pet.model
 //	pettrain -workers 8 -retries 3 -episode-timeout 2m -quorum 6 -out pet.model
+//	pettrain -rounds 20 -checkpoint ckpt/ -store models/ -out pet.model
 //	petsim -scheme PET -models pet.model
 //
 // -duration is the simulated training time of one episode; every round each
@@ -74,12 +75,19 @@ func main() {
 		keepCkpt  = flag.Int("keep-checkpoints", 3, "round-stamped bundles retained for corruption fallback on resume")
 		traceCSV  = flag.String("tracecsv", "", "write per-round telemetry as CSV to this file")
 		quiet     = flag.Bool("q", false, "suppress per-round progress on stderr")
+		storeDir  = flag.String("store", "", "publish each checkpointed round into this versioned model store (requires -checkpoint)")
+		storeCh   = flag.String("store-channel", "", "store channel the published versions land on (default \"candidate\")")
 		listS     = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
 		listT     = flag.Bool("list-transports", false, "print the registered transport names and exit")
+		version   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	var tf pet.TelemetryFlag
 	tf.Register(flag.CommandLine)
 	flag.Parse()
+	if *version {
+		fmt.Println(pet.ReadBuildInfo())
+		return
+	}
 	if *listS {
 		for _, name := range pet.SchemeNames() {
 			fmt.Println(name)
@@ -135,6 +143,18 @@ func main() {
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "pettrain: "+format+"\n", a...)
 		},
+	}
+	if *storeDir != "" {
+		st, err := pet.OpenModelStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pettrain: opening model store: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+		cfg.StoreChannel = *storeCh
+	} else if *storeCh != "" {
+		fmt.Fprintln(os.Stderr, "pettrain: -store-channel needs -store")
+		os.Exit(2)
 	}
 	if *traceCSV != "" {
 		// The CSV flush needs a registry even when nothing is served.

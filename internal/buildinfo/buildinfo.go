@@ -1,0 +1,70 @@
+// Package buildinfo reports what binary is running: module version, VCS
+// revision and Go toolchain, read from the build metadata the linker embeds
+// (runtime/debug.ReadBuildInfo). It backs petd's GET /version endpoint and
+// the -version flag on every CLI, so an operator can tell which build
+// answered before trusting what it said.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Info is the build identity document (GET /version).
+type Info struct {
+	Module    string `json:"module"`                 // main module path
+	Version   string `json:"version"`                // module version ("(devel)" for local builds)
+	GoVersion string `json:"go_version"`             // toolchain that built the binary
+	Revision  string `json:"vcs_revision,omitempty"` // VCS commit, when stamped
+	Time      string `json:"vcs_time,omitempty"`     // commit timestamp, when stamped
+	Dirty     bool   `json:"vcs_dirty,omitempty"`    // uncommitted changes at build time
+}
+
+// Read collects the build identity. Binaries built without module support
+// (rare: go test harnesses, stripped builds) get a best-effort document
+// rather than an error.
+func Read() Info {
+	info := Info{Module: "pet", Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.GoVersion = bi.GoVersion
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line -version output, e.g.
+// "pet (devel) go1.24.0 rev 1a2b3c4d (dirty)".
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s", i.Module, i.Version)
+	if i.GoVersion != "" {
+		s += " " + i.GoVersion
+	}
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+	}
+	if i.Dirty {
+		s += " (dirty)"
+	}
+	return s
+}

@@ -51,6 +51,7 @@ import (
 	"pet/internal/bench"
 	"pet/internal/core"
 	_ "pet/internal/dcqcn" // register the default transport episodes assemble with
+	"pet/internal/modelstore"
 	"pet/internal/rng"
 	"pet/internal/sim"
 	"pet/internal/telemetry"
@@ -115,6 +116,17 @@ type Config struct {
 	// coordinates and on-disk bundle corruption after checkpoint writes.
 	Faults *FaultPlan
 
+	// Store, when non-nil, receives every written checkpoint bundle as a
+	// new version in the model store, under the StoreChannel channel
+	// (default "candidate") — the bridge from offline pre-training to the
+	// daemon's promote/serve loop. Publishing rides the checkpoint cadence:
+	// no Checkpoint directory, no publishing.
+	Store *modelstore.Store
+
+	// StoreChannel names the channel each published version is pointed at
+	// (default modelstore.ChannelCandidate).
+	StoreChannel string
+
 	// Logf, when non-nil, receives human-readable warnings: retries,
 	// stragglers, degraded rounds, checkpoint fallbacks (nil = silent).
 	Logf func(format string, a ...any)
@@ -160,6 +172,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Resume && c.Checkpoint == "" {
 		return c, fmt.Errorf("fleet: Resume requires a Checkpoint directory")
+	}
+	if c.Store != nil && c.Checkpoint == "" {
+		return c, fmt.Errorf("fleet: Store publishing rides the checkpoint cadence; set a Checkpoint directory")
+	}
+	if c.StoreChannel != "" && c.Store == nil {
+		return c, fmt.Errorf("fleet: StoreChannel set without a Store")
 	}
 	if c.MaxRetries < 0 {
 		return c, fmt.Errorf("fleet: negative retry count %d", c.MaxRetries)
@@ -473,6 +491,20 @@ func PretrainContext(ctx context.Context, s bench.Scenario, cfg Config) (Result,
 		tm.ckptSec.Observe(time.Since(start).Seconds())
 		tm.ckptBytes.Set(float64(len(global)))
 		lastCkpt = round
+		if cfg.Store != nil {
+			vi, err := cfg.Store.Put(global, fmt.Sprintf("fleet round %d", round), "")
+			if err != nil {
+				return fmt.Errorf("fleet: publishing round %d to the model store: %w", round, err)
+			}
+			channel := cfg.StoreChannel
+			if channel == "" {
+				channel = modelstore.ChannelCandidate
+			}
+			if err := cfg.Store.SetChannel(channel, vi.Version); err != nil {
+				return fmt.Errorf("fleet: publishing round %d to the model store: %w", round, err)
+			}
+			logf("fleet: round %d published as store version %d (%s)", round, vi.Version, channel)
+		}
 		if cfg.Faults.corruptsBundle(round) {
 			if err := corruptBundleFile(filepath.Join(cfg.Checkpoint, bundleName(round))); err != nil {
 				return fmt.Errorf("fleet: injecting bundle corruption: %w", err)

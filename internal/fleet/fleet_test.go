@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pet/internal/bench"
+	"pet/internal/modelstore"
 	"pet/internal/sim"
 )
 
@@ -267,5 +268,50 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := Pretrain(s, Config{Workers: 1, Rounds: 1, Episode: sim.Millisecond, Resume: true}); err == nil {
 		t.Fatal("Resume without Checkpoint accepted")
+	}
+}
+
+// TestFleetPublishesToStore: with a Store configured, every checkpointed
+// round lands in the model store as a new version with the channel tracking
+// the newest one, and the final version's bytes match the run's result.
+func TestFleetPublishesToStore(t *testing.T) {
+	store, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Pretrain(testScenario(5), Config{
+		Workers:    1,
+		Rounds:     2,
+		Episode:    2 * sim.Millisecond,
+		Checkpoint: t.TempDir(),
+		Store:      store,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := store.Versions()
+	if len(versions) != 2 {
+		t.Fatalf("%d published versions for 2 rounds", len(versions))
+	}
+	vi, err := store.Channel(modelstore.ChannelCandidate)
+	if err != nil || vi.Version != versions[len(versions)-1].Version {
+		t.Fatalf("candidate channel %+v, %v; want the newest version", vi, err)
+	}
+	_, bundle, err := store.Get(vi.Version)
+	if err != nil || !bytes.Equal(bundle, res.Models) {
+		t.Fatalf("stored final bundle differs from the run result (err %v)", err)
+	}
+	if !strings.Contains(versions[0].Source, "fleet round") {
+		t.Fatalf("published source %q", versions[0].Source)
+	}
+
+	// Store without a checkpoint directory is a config error, not a silent
+	// no-op.
+	if _, err := Pretrain(testScenario(5), Config{Episode: sim.Millisecond, Store: store}); err == nil {
+		t.Fatal("Store without Checkpoint accepted")
+	}
+	if _, err := Pretrain(testScenario(5), Config{Episode: sim.Millisecond, StoreChannel: "x"}); err == nil {
+		t.Fatal("StoreChannel without Store accepted")
 	}
 }

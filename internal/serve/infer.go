@@ -5,6 +5,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pet/internal/bench"
 	"pet/internal/core"
@@ -20,12 +23,23 @@ import (
 //
 // Concurrency model: ppo agents share per-agent scratch and are not
 // goroutine-safe, so the service builds Replicas identical controller
-// replicas from the same bundle at startup and leases them through a
-// buffered channel. One request leases one replica for its whole batch;
-// leases bound concurrency naturally (a saturated pool queues requests
-// instead of corrupting scratch). The per-batch hot path — lease, validate,
-// forward passes, action translation — allocates nothing; JSON
-// encode/decode at the HTTP boundary is the only steady-state allocator.
+// replicas from the same bundle and leases them through a buffered
+// channel. One request leases one replica for its whole batch; leases
+// bound concurrency naturally (a saturated pool queues requests instead of
+// corrupting scratch). The per-batch hot path — lease, validate, forward
+// passes, action translation — allocates nothing; JSON encode/decode at
+// the HTTP boundary is the only steady-state allocator.
+//
+// Hot swap: the whole replica pool hangs off one atomic pointer. Swap
+// builds and validates a complete replacement pool from the new bundle
+// (validate-all-then-commit: a corrupt bundle fails construction and the
+// serving pool is untouched), then publishes it with a single atomic
+// store. A batch leases from whichever pool it loaded — an in-flight batch
+// finishes on the old version, the next lease sees the new one, and every
+// response reports the exact (version, sha256) that computed it, so a
+// reply can never mix weights from two versions. Old pools drain
+// naturally: leased replicas return to their own pool's channel, which is
+// garbage-collected once the last lease lets go.
 
 // ObsRequest is one switch's observation: the flattened HistoryK-slot
 // feature vector its NCM maintains (ObsDim values).
@@ -48,19 +62,30 @@ type InferRequest struct {
 	Requests []ObsRequest `json:"requests"`
 }
 
-// InferResponse is the answer: Actions[i] corresponds to Requests[i].
+// InferResponse is the answer: Actions[i] corresponds to Requests[i], all
+// computed by the single model identified by (ModelVersion, ModelSHA256).
 type InferResponse struct {
-	ModelSHA256 string      `json:"model_sha256"`
-	Actions     []ECNAction `json:"actions"`
+	ModelVersion int         `json:"model_version"`
+	ModelSHA256  string      `json:"model_sha256"`
+	Actions      []ECNAction `json:"actions"`
+}
+
+// ModelRef identifies the exact model that answered a batch: the store
+// version number (0 = an unversioned boot bundle) and the bundle digest.
+type ModelRef struct {
+	Version int    `json:"version"`
+	SHA256  string `json:"sha256"`
 }
 
 // InferInfo describes a loaded inference service (GET /healthz).
 type InferInfo struct {
-	ModelSHA256 string `json:"model_sha256"`
-	Switches    []int  `json:"switches"`
-	ObsDim      int    `json:"obs_dim"`
-	Replicas    int    `json:"replicas"`
-	MaxBatch    int    `json:"max_batch"`
+	ModelVersion int    `json:"model_version"`
+	ModelSHA256  string `json:"model_sha256"`
+	Switches     []int  `json:"switches"`
+	ObsDim       int    `json:"obs_dim"`
+	Replicas     int    `json:"replicas"`
+	MaxBatch     int    `json:"max_batch"`
+	Swaps        uint64 `json:"swaps"`
 }
 
 // InferOptions parameterizes NewInferService.
@@ -76,6 +101,9 @@ type InferOptions struct {
 	Replicas int
 	// MaxBatch bounds observations per request (0 = 4096).
 	MaxBatch int
+	// Version is the model-store version of the boot bundle, surfaced in
+	// every response (0 = unversioned, e.g. a raw -models file).
+	Version int
 	// Telemetry (nil ok) receives the petd_infer_* series.
 	Telemetry *telemetry.Registry
 }
@@ -86,27 +114,52 @@ type replica struct {
 	acts   []int // action-head scratch, reused across the batch
 }
 
-// InferService answers observation batches from a pool of controller
-// replicas loaded from one model bundle.
-type InferService struct {
+// modelPool is one model version's complete serving state: immutable after
+// construction, published wholesale through InferService.cur.
+type modelPool struct {
+	version  int
 	sha      string
+	replicas chan *replica
+}
+
+// SwapError reports a rejected hot swap: the candidate bundle failed to
+// load or produced an incompatible controller, and the serving pool was
+// left untouched. Matchable with errors.As; Unwrap exposes the cause.
+type SwapError struct {
+	Version int   // store version of the rejected candidate (0 = unversioned)
+	Cause   error // why construction or validation failed
+}
+
+func (e *SwapError) Error() string {
+	return fmt.Sprintf("serve: hot swap to model version %d rejected (serving pool unchanged): %v", e.Version, e.Cause)
+}
+
+func (e *SwapError) Unwrap() error { return e.Cause }
+
+// InferService answers observation batches from a pool of controller
+// replicas loaded from one model bundle, hot-swappable to a new bundle
+// without dropping a request.
+type InferService struct {
+	opts     InferOptions // normalized; reused by Swap
 	obsDim   int
 	switches []int
 	maxBatch int
-	pool     chan *replica
+
+	cur       atomic.Pointer[modelPool]
+	swapMu    sync.Mutex // serializes Swap; Infer never takes it
+	swapCount atomic.Uint64
 
 	requests, observations, errors *telemetry.Counter
+	swaps, swapFailures            *telemetry.Counter
+	servingVersion                 *telemetry.Gauge
 	batchObs                       *telemetry.Histogram
 }
 
 // NewInferService builds the replica pool from a model bundle (as written
-// by pettrain or a fleet checkpoint, and restored per replica through
-// Controller.LoadModels' validate-then-apply path — a corrupt bundle fails
-// construction, never a request).
+// by pettrain, a fleet checkpoint, or the model store, and restored per
+// replica through Controller.LoadModels' validate-then-apply path — a
+// corrupt bundle fails construction, never a request).
 func NewInferService(bundle []byte, opts InferOptions) (*InferService, error) {
-	if len(bundle) == 0 {
-		return nil, fmt.Errorf("serve: empty model bundle")
-	}
 	if opts.Scheme == "" {
 		opts.Scheme = string(bench.SchemePET)
 	}
@@ -119,104 +172,183 @@ func NewInferService(bundle []byte, opts InferOptions) (*InferService, error) {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 4096
 	}
-	topoCfg, err := bench.TopoByName(opts.Topo)
+	s := &InferService{
+		opts:           opts,
+		maxBatch:       opts.MaxBatch,
+		requests:       opts.Telemetry.Counter("petd_infer_requests_total"),
+		observations:   opts.Telemetry.Counter("petd_infer_observations_total"),
+		errors:         opts.Telemetry.Counter("petd_infer_errors_total"),
+		swaps:          opts.Telemetry.Counter("petd_infer_swaps_total"),
+		swapFailures:   opts.Telemetry.Counter("petd_infer_swap_failures_total"),
+		servingVersion: opts.Telemetry.Gauge("petd_infer_serving_version"),
+		batchObs:       opts.Telemetry.Histogram("petd_infer_batch_obs", telemetry.ExpBuckets(1, 2, 13)),
+	}
+	pool, obsDim, switches, err := s.buildPool(bundle, opts.Version)
 	if err != nil {
 		return nil, err
 	}
+	s.obsDim = obsDim
+	s.switches = switches
+	s.cur.Store(pool)
+	s.servingVersion.Set(float64(opts.Version))
+	return s, nil
+}
+
+// buildPool assembles a complete replica pool for one bundle and reports
+// the observation width and switch set it serves.
+func (s *InferService) buildPool(bundle []byte, version int) (*modelPool, int, []int, error) {
+	if len(bundle) == 0 {
+		return nil, 0, nil, fmt.Errorf("serve: empty model bundle")
+	}
+	topoCfg, err := bench.TopoByName(s.opts.Topo)
+	if err != nil {
+		return nil, 0, nil, err
+	}
 	sum := sha256.Sum256(bundle)
-	s := &InferService{
-		sha:          hex.EncodeToString(sum[:]),
-		maxBatch:     opts.MaxBatch,
-		pool:         make(chan *replica, opts.Replicas),
-		requests:     opts.Telemetry.Counter("petd_infer_requests_total"),
-		observations: opts.Telemetry.Counter("petd_infer_observations_total"),
-		errors:       opts.Telemetry.Counter("petd_infer_errors_total"),
-		batchObs:     opts.Telemetry.Histogram("petd_infer_batch_obs", telemetry.ExpBuckets(1, 2, 13)),
+	pool := &modelPool{
+		version:  version,
+		sha:      hex.EncodeToString(sum[:]),
+		replicas: make(chan *replica, s.opts.Replicas),
 	}
 	scenario := bench.Scenario{
 		Topo:   topoCfg,
-		Scheme: bench.Scheme(opts.Scheme),
+		Scheme: bench.Scheme(s.opts.Scheme),
 		Models: bundle,
 	}
-	for i := 0; i < opts.Replicas; i++ {
+	var obsDim int
+	var switches []int
+	for i := 0; i < s.opts.Replicas; i++ {
 		env, err := bench.NewEnv(scenario)
 		if err != nil {
-			return nil, fmt.Errorf("serve: assembling inference replica %d: %w", i, err)
+			return nil, 0, nil, fmt.Errorf("serve: assembling inference replica %d: %w", i, err)
 		}
 		ctl, ok := env.Control.(*core.Controller)
 		if !ok {
-			return nil, fmt.Errorf("serve: scheme %q is a %T, not the per-switch IPPO controller required for serving",
-				opts.Scheme, env.Control)
+			return nil, 0, nil, fmt.Errorf("serve: scheme %q is a %T, not the per-switch IPPO controller required for serving",
+				s.opts.Scheme, env.Control)
 		}
 		r := &replica{agents: map[topo.NodeID]*core.SwitchAgent{}}
 		for _, a := range ctl.Agents() {
 			r.agents[a.Switch] = a
 		}
+		r.acts = make([]int, len(ctl.Config().Heads()))
 		if i == 0 {
-			cfg := ctl.Config()
-			s.obsDim = cfg.ObsDim()
-			r.sizeScratch(len(cfg.Heads()))
+			obsDim = ctl.Config().ObsDim()
 			for _, a := range ctl.Agents() {
-				s.switches = append(s.switches, int(a.Switch))
+				switches = append(switches, int(a.Switch))
 			}
-		} else {
-			r.sizeScratch(len(ctl.Config().Heads()))
+			sort.Ints(switches)
 		}
-		s.pool <- r
+		pool.replicas <- r
 	}
-	return s, nil
+	return pool, obsDim, switches, nil
 }
 
-func (r *replica) sizeScratch(heads int) { r.acts = make([]int, heads) }
+// Swap atomically replaces the serving model: it builds and validates a
+// complete replica pool from bundle (store version number `version`), then
+// publishes it in one atomic store. In-flight batches finish on the old
+// pool; the next lease sees the new one. On any failure — empty or corrupt
+// bundle, scheme mismatch, incompatible observation width or switch set —
+// the serving pool is untouched and the returned error is a *SwapError
+// wrapping the cause. Safe to call concurrently with Infer; concurrent
+// Swaps serialize.
+func (s *InferService) Swap(bundle []byte, version int) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	pool, obsDim, switches, err := s.buildPool(bundle, version)
+	if err != nil {
+		s.swapFailures.Inc()
+		return &SwapError{Version: version, Cause: err}
+	}
+	// The pool shape is part of the serving contract: clients sized their
+	// observation vectors and switch sets against it.
+	if obsDim != s.obsDim {
+		s.swapFailures.Inc()
+		return &SwapError{Version: version, Cause: fmt.Errorf(
+			"serve: candidate observes %d values per switch, serving contract is %d", obsDim, s.obsDim)}
+	}
+	if len(switches) != len(s.switches) {
+		s.swapFailures.Inc()
+		return &SwapError{Version: version, Cause: fmt.Errorf(
+			"serve: candidate serves %d switches, serving contract is %d", len(switches), len(s.switches))}
+	}
+	for i, sw := range switches {
+		if sw != s.switches[i] {
+			s.swapFailures.Inc()
+			return &SwapError{Version: version, Cause: fmt.Errorf(
+				"serve: candidate switch set %v differs from serving contract %v", switches, s.switches)}
+		}
+	}
+	s.cur.Store(pool)
+	s.swapCount.Add(1)
+	s.swaps.Inc()
+	s.servingVersion.Set(float64(version))
+	return nil
+}
 
-// ModelSHA256 returns the hex digest of the loaded bundle.
-func (s *InferService) ModelSHA256() string { return s.sha }
+// Model returns the identity of the currently serving model.
+func (s *InferService) Model() ModelRef {
+	p := s.cur.Load()
+	return ModelRef{Version: p.version, SHA256: p.sha}
+}
+
+// ModelSHA256 returns the hex digest of the currently serving bundle.
+func (s *InferService) ModelSHA256() string { return s.cur.Load().sha }
 
 // Info describes the service.
 func (s *InferService) Info() InferInfo {
+	p := s.cur.Load()
 	return InferInfo{
-		ModelSHA256: s.sha,
-		Switches:    s.switches,
-		ObsDim:      s.obsDim,
-		Replicas:    cap(s.pool),
-		MaxBatch:    s.maxBatch,
+		ModelVersion: p.version,
+		ModelSHA256:  p.sha,
+		Switches:     s.switches,
+		ObsDim:       s.obsDim,
+		Replicas:     s.opts.Replicas,
+		MaxBatch:     s.maxBatch,
+		Swaps:        s.swapCount.Load(),
 	}
 }
 
 // Infer answers one batch: out[i] receives the action for reqs[i], and out
-// must be at least len(reqs) long. The batch is validated before the first
-// forward pass, so an error means no partial work; the computation itself
-// allocates nothing. Safe for concurrent use — each call leases one
-// replica for its duration.
-func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) error {
+// must be at least len(reqs) long. The returned ModelRef identifies the
+// single model version that computed every action in the batch — a swap
+// landing mid-batch takes effect at the next lease, never inside one. The
+// batch is validated before the first forward pass, so an error means no
+// partial work; the computation itself allocates nothing. Safe for
+// concurrent use — each call leases one replica for its duration.
+func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) (ModelRef, error) {
 	s.requests.Inc()
+	// One atomic load pins the batch to one model version: lease, compute
+	// and report all against the same pool.
+	p := s.cur.Load()
+	ref := ModelRef{Version: p.version, SHA256: p.sha}
 	if len(reqs) == 0 {
 		s.errors.Inc()
-		return fmt.Errorf("serve: empty inference batch")
+		return ref, fmt.Errorf("serve: empty inference batch")
 	}
 	if len(reqs) > s.maxBatch {
 		s.errors.Inc()
-		return fmt.Errorf("serve: batch of %d observations exceeds the %d maximum", len(reqs), s.maxBatch)
+		return ref, fmt.Errorf("serve: batch of %d observations exceeds the %d maximum", len(reqs), s.maxBatch)
 	}
 	if len(out) < len(reqs) {
 		s.errors.Inc()
-		return fmt.Errorf("serve: output scratch holds %d actions, batch has %d", len(out), len(reqs))
+		return ref, fmt.Errorf("serve: output scratch holds %d actions, batch has %d", len(out), len(reqs))
 	}
 
-	r := <-s.pool
-	defer func() { s.pool <- r }()
+	r := <-p.replicas
+	defer func() { p.replicas <- r }()
 
 	for i := range reqs {
 		req := &reqs[i]
 		a := r.agents[topo.NodeID(req.Switch)]
 		if a == nil {
 			s.errors.Inc()
-			return fmt.Errorf("serve: request %d: no agent for switch %d (serving switches %v)",
+			return ref, fmt.Errorf("serve: request %d: no agent for switch %d (serving switches %v)",
 				i, req.Switch, s.switches)
 		}
 		if len(req.Obs) != s.obsDim {
 			s.errors.Inc()
-			return fmt.Errorf("serve: request %d: switch %d observation has %d values, want %d",
+			return ref, fmt.Errorf("serve: request %d: switch %d observation has %d values, want %d",
 				i, req.Switch, len(req.Obs), s.obsDim)
 		}
 	}
@@ -225,7 +357,7 @@ func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) error {
 		cfg, err := r.agents[topo.NodeID(req.Switch)].InferECN(req.Obs, r.acts)
 		if err != nil { // unreachable post-validation; belt and braces
 			s.errors.Inc()
-			return err
+			return ref, err
 		}
 		out[i] = ECNAction{
 			Switch:    req.Switch,
@@ -236,5 +368,5 @@ func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) error {
 	}
 	s.observations.Add(uint64(len(reqs)))
 	s.batchObs.Observe(float64(len(reqs)))
-	return nil
+	return ref, nil
 }

@@ -91,7 +91,7 @@ func TestInferParity(t *testing.T) {
 			}
 		}
 		out := make([]ECNAction, batch)
-		if err := svc.Infer(reqs, out); err != nil {
+		if _, err := svc.Infer(reqs, out); err != nil {
 			t.Fatalf("batch %d: Infer: %v", batch, err)
 		}
 		for i, req := range reqs {
@@ -178,7 +178,7 @@ func TestInferConcurrent(t *testing.T) {
 	}
 	// The expected answer, computed once up front.
 	want := make([]ECNAction, len(reqs))
-	if err := svc.Infer(reqs, want); err != nil {
+	if _, err := svc.Infer(reqs, want); err != nil {
 		t.Fatal(err)
 	}
 
@@ -191,7 +191,7 @@ func TestInferConcurrent(t *testing.T) {
 			defer wg.Done()
 			out := make([]ECNAction, len(reqs))
 			for i := 0; i < iters; i++ {
-				if err := svc.Infer(reqs, out); err != nil {
+				if _, err := svc.Infer(reqs, out); err != nil {
 					errc <- err
 					return
 				}
@@ -223,19 +223,19 @@ func TestInferValidation(t *testing.T) {
 	good := ObsRequest{Switch: info.Switches[0], Obs: make([]float64, info.ObsDim)}
 	out := make([]ECNAction, 16)
 
-	if err := svc.Infer(nil, out); err == nil {
+	if _, err := svc.Infer(nil, out); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if err := svc.Infer(make([]ObsRequest, 9), out); err == nil {
+	if _, err := svc.Infer(make([]ObsRequest, 9), out); err == nil {
 		t.Error("oversize batch accepted")
 	}
-	if err := svc.Infer([]ObsRequest{good}, nil); err == nil {
+	if _, err := svc.Infer([]ObsRequest{good}, nil); err == nil {
 		t.Error("nil output scratch accepted")
 	}
-	if err := svc.Infer([]ObsRequest{{Switch: -1, Obs: good.Obs}}, out); err == nil {
+	if _, err := svc.Infer([]ObsRequest{{Switch: -1, Obs: good.Obs}}, out); err == nil {
 		t.Error("unknown switch accepted")
 	}
-	if err := svc.Infer([]ObsRequest{{Switch: good.Switch, Obs: make([]float64, 3)}}, out); err == nil {
+	if _, err := svc.Infer([]ObsRequest{{Switch: good.Switch, Obs: make([]float64, 3)}}, out); err == nil {
 		t.Error("short observation accepted")
 	}
 	// A bad bundle fails construction, not serving.
@@ -267,11 +267,11 @@ func TestInferAllocFree(t *testing.T) {
 		reqs[i] = ObsRequest{Switch: info.Switches[i%len(info.Switches)], Obs: randObs(rng, info.ObsDim)}
 	}
 	out := make([]ECNAction, len(reqs))
-	if err := svc.Infer(reqs, out); err != nil { // warm up once
+	if _, err := svc.Infer(reqs, out); err != nil { // warm up once
 		t.Fatal(err)
 	}
 	avg := testing.AllocsPerRun(100, func() {
-		if err := svc.Infer(reqs, out); err != nil {
+		if _, err := svc.Infer(reqs, out); err != nil {
 			t.Error(err)
 		}
 	})

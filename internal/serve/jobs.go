@@ -13,6 +13,7 @@ import (
 
 	"pet/internal/bench"
 	"pet/internal/fleet"
+	"pet/internal/modelstore"
 	"pet/internal/sim"
 	"pet/internal/telemetry"
 )
@@ -77,7 +78,8 @@ type PretrainSummary struct {
 	DegradedRounds []int   `json:"degraded_rounds,omitempty"`
 	ModelBytes     int     `json:"model_bytes"`
 	ModelSHA256    string  `json:"model_sha256"`
-	Out            string  `json:"out,omitempty"` // bundle path when Spec.Out was set
+	Out            string  `json:"out,omitempty"`           // bundle path when Spec.Out was set
+	StoreVersion   int     `json:"store_version,omitempty"` // model-store version when Spec.Publish was set
 }
 
 // JobStatus is the JSON view of one job, returned by the lifecycle API and
@@ -122,6 +124,10 @@ var errShuttingDown = errors.New("serve: manager shutting down")
 type Manager struct {
 	tele *telemetry.Registry
 	logf func(format string, a ...any)
+
+	// store (nil ok) receives finished pretrain bundles when their spec
+	// asks to publish; set by serve.New before any launch.
+	store *modelstore.Store
 
 	slots chan struct{} // concurrency semaphore
 
@@ -306,6 +312,20 @@ func (m *Manager) runPretrain(ctx context.Context, j *job, spec ExperimentSpec) 
 				return fmt.Errorf("serve: writing bundle: %w", werr)
 			}
 			ps.Out = spec.Out
+		}
+		if err == nil && spec.Publish {
+			if m.store == nil {
+				return errNoStore
+			}
+			vi, perr := m.store.Put(res.Models, "job "+j.status.ID, fmt.Sprintf("pretrain %d rounds", res.Rounds))
+			if perr != nil {
+				return fmt.Errorf("serve: publishing bundle: %w", perr)
+			}
+			if perr := m.store.SetChannel(modelstore.ChannelCandidate, vi.Version); perr != nil {
+				return fmt.Errorf("serve: publishing bundle: %w", perr)
+			}
+			ps.StoreVersion = vi.Version
+			m.logf("job %s: published bundle as store version %d (candidate)", j.status.ID, vi.Version)
 		}
 		j.mu.Lock()
 		j.status.Rounds = res.Rounds

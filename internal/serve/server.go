@@ -1,14 +1,19 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pet/internal/buildinfo"
+	"pet/internal/modelstore"
 	"pet/internal/telemetry"
 )
 
@@ -17,9 +22,25 @@ type Config struct {
 	// Telemetry is the registry every job instruments and the SSE stream
 	// snapshots (nil = a fresh private registry).
 	Telemetry *telemetry.Registry
-	// Infer (nil ok) serves POST /infer; without it the endpoint answers
-	// 503 so pollers can distinguish "no model loaded" from "bad daemon".
+	// Infer (nil ok) serves POST /infer from boot; without it the endpoint
+	// answers 503 until a model is promoted through the store, so pollers
+	// can distinguish "no model loaded" from "bad daemon".
 	Infer *InferService
+	// Store (nil ok) is the versioned model store behind the /models API:
+	// ingest, channels, shadow-eval gating and promotion. Without it the
+	// /models endpoints answer 503.
+	Store *modelstore.Store
+	// InferOpts parameterizes replica pools the server builds itself when a
+	// promotion lands on a daemon that booted without a model (Infer nil).
+	// Version and Telemetry are set per promotion.
+	InferOpts InferOptions
+	// Gate is the default shadow-eval config for promotions; a promotion
+	// request may override it per call.
+	Gate GateConfig
+	// KeepVersions is the store GC retention applied after each promotion
+	// (0 = the store default of 5). Channel-pinned versions — serving,
+	// previous, candidate — always survive.
+	KeepVersions int
 	// SSEInterval is the default /events push period (0 = 1s).
 	SSEInterval time.Duration
 	// MaxJobs bounds concurrently simulating experiments (0 = 1).
@@ -28,17 +49,29 @@ type Config struct {
 	Logf func(format string, a ...any)
 }
 
-// Server is the resident control plane: experiment lifecycle, SSE telemetry
-// and batched inference behind one http.Handler.
+// Server is the resident control plane: experiment lifecycle, SSE telemetry,
+// batched inference and the versioned model store behind one http.Handler.
 type Server struct {
-	cfg Config
-	reg *telemetry.Registry
-	mgr *Manager
+	cfg   Config
+	reg   *telemetry.Registry
+	mgr   *Manager
+	store *modelstore.Store
+	logf  func(format string, a ...any)
+
+	// infer is the live inference service, swapped wholesale when a daemon
+	// that booted model-less gets its first promotion; the service itself
+	// hot-swaps bundles for every later one.
+	infer atomic.Pointer[InferService]
+
+	// promoteMu serializes promotions end to end (gate → swap → channel
+	// moves → GC); /infer traffic never takes it.
+	promoteMu sync.Mutex
 
 	done      chan struct{} // closed by Shutdown before the HTTP drain
 	closeOnce sync.Once
 
-	sseClients *telemetry.Gauge
+	sseClients                          *telemetry.Gauge
+	ingests, promotions, promoteRejects *telemetry.Counter
 }
 
 // New assembles a server from its config.
@@ -49,22 +82,41 @@ func New(cfg Config) *Server {
 	if cfg.SSEInterval <= 0 {
 		cfg.SSEInterval = time.Second
 	}
-	return &Server{
-		cfg:        cfg,
-		reg:        cfg.Telemetry,
-		mgr:        NewManager(cfg.MaxJobs, cfg.Telemetry, cfg.Logf),
-		done:       make(chan struct{}),
-		sseClients: cfg.Telemetry.Gauge("petd_sse_clients"),
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
 	}
+	s := &Server{
+		cfg:            cfg,
+		reg:            cfg.Telemetry,
+		mgr:            NewManager(cfg.MaxJobs, cfg.Telemetry, cfg.Logf),
+		store:          cfg.Store,
+		logf:           logf,
+		done:           make(chan struct{}),
+		sseClients:     cfg.Telemetry.Gauge("petd_sse_clients"),
+		ingests:        cfg.Telemetry.Counter("petd_models_ingested_total"),
+		promotions:     cfg.Telemetry.Counter("petd_models_promoted_total"),
+		promoteRejects: cfg.Telemetry.Counter("petd_models_promote_rejected_total"),
+	}
+	if cfg.Infer != nil {
+		s.infer.Store(cfg.Infer)
+	}
+	// Finished pretrain jobs publish into the same store (spec.publish).
+	s.mgr.store = cfg.Store
+	return s
 }
 
 // Jobs exposes the job manager (tests and embedders).
 func (s *Server) Jobs() *Manager { return s.mgr }
 
+// Infer exposes the live inference service (nil before any model is loaded
+// or promoted).
+func (s *Server) Infer() *InferService { return s.infer.Load() }
+
 // Handler routes the control-plane API. Anything outside the API namespace
 // falls through to the telemetry handler, so one listener serves
-// /experiments, /events and /infer alongside /metrics, /snapshot and
-// /debug/pprof.
+// /experiments, /events, /infer and /models alongside /metrics, /snapshot
+// and /debug/pprof.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /experiments", s.handleLaunch)
@@ -74,7 +126,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /experiments/{id}", s.handleCancel)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("POST /infer", s.handleInfer)
+	mux.HandleFunc("POST /models", s.handleModelIngest)
+	mux.HandleFunc("GET /models", s.handleModelList)
+	mux.HandleFunc("GET /models/{ref}", s.handleModelGet)
+	mux.HandleFunc("POST /models/{ref}/promote", s.handleModelPromote)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.Handle("/", telemetry.Handler(s.reg))
 	return mux
 }
@@ -137,6 +194,19 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
+// decodeJSONStrict decodes an already-read body with the same strictness as
+// decodeBody.
+func decodeJSONStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %v", err)
+	}
+	return nil
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	var spec ExperimentSpec
 	if err := decodeBody(w, r, &spec); err != nil {
@@ -191,8 +261,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Infer == nil {
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: no model bundle loaded (start petd with -models)"))
+	svc := s.infer.Load()
+	if svc == nil {
+		writeError(w, http.StatusServiceUnavailable, errNoModel)
 		return
 	}
 	var req InferRequest
@@ -200,15 +271,21 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := InferResponse{
-		ModelSHA256: s.cfg.Infer.ModelSHA256(),
-		Actions:     make([]ECNAction, len(req.Requests)),
-	}
-	if err := s.cfg.Infer.Infer(req.Requests, resp.Actions); err != nil {
+	resp := InferResponse{Actions: make([]ECNAction, len(req.Requests))}
+	ref, err := svc.Infer(req.Requests, resp.Actions)
+	resp.ModelVersion, resp.ModelSHA256 = ref.Version, ref.SHA256
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// StoreInfo summarizes the model store for GET /healthz.
+type StoreInfo struct {
+	Dir      string         `json:"dir"`
+	Versions int            `json:"versions"`
+	Channels map[string]int `json:"channels,omitempty"`
 }
 
 // healthzResponse is the GET /healthz document.
@@ -216,13 +293,26 @@ type healthzResponse struct {
 	Status string     `json:"status"`
 	Jobs   int        `json:"jobs"`
 	Infer  *InferInfo `json:"infer,omitempty"`
+	Store  *StoreInfo `json:"store,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := healthzResponse{Status: "ok", Jobs: len(s.mgr.List())}
-	if s.cfg.Infer != nil {
-		info := s.cfg.Infer.Info()
+	if svc := s.infer.Load(); svc != nil {
+		info := svc.Info()
 		resp.Infer = &info
 	}
+	if s.store != nil {
+		resp.Store = &StoreInfo{
+			Dir:      s.store.Dir(),
+			Versions: len(s.store.Versions()),
+			Channels: s.store.Channels(),
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleVersion is GET /version: the build identity of the running daemon.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, buildinfo.Read())
 }

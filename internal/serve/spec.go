@@ -59,6 +59,7 @@ type ExperimentSpec struct {
 	Checkpoint string `json:"checkpoint,omitempty"` // crash-safe checkpoint directory
 	Resume     bool   `json:"resume,omitempty"`     // continue from Checkpoint
 	Out        string `json:"out,omitempty"`        // write the trained bundle here
+	Publish    bool   `json:"publish,omitempty"`    // put the trained bundle into the model store as "candidate"
 }
 
 // The job kinds.
@@ -92,8 +93,8 @@ func (sp ExperimentSpec) normalized() (ExperimentSpec, error) {
 		return sp, fmt.Errorf("serve: unknown job kind %q (want %s|%s)", sp.Kind, KindRun, KindPretrain)
 	}
 	if sp.Kind != KindPretrain {
-		if sp.Workers != 0 || sp.Rounds != 0 || sp.Checkpoint != "" || sp.Resume || sp.Out != "" {
-			return sp, fmt.Errorf("serve: fleet fields (workers/rounds/checkpoint/resume/out) require kind %q", KindPretrain)
+		if sp.Workers != 0 || sp.Rounds != 0 || sp.Checkpoint != "" || sp.Resume || sp.Out != "" || sp.Publish {
+			return sp, fmt.Errorf("serve: fleet fields (workers/rounds/checkpoint/resume/out/publish) require kind %q", KindPretrain)
 		}
 	}
 	if sp.Load < 0 || sp.Load > 1 {

@@ -38,16 +38,19 @@ package pet
 import (
 	"context"
 	"flag"
+	"log"
 	"net/http"
 	"time"
 
 	"pet/internal/acc"
 	"pet/internal/bench"
+	"pet/internal/buildinfo"
 	"pet/internal/core"
 	"pet/internal/dcqcn"
 	"pet/internal/dctcp"
 	_ "pet/internal/dynecn" // register the AMT/QAECN baseline schemes
 	"pet/internal/fleet"
+	"pet/internal/modelstore"
 	"pet/internal/netsim"
 	"pet/internal/serve"
 	"pet/internal/sim"
@@ -455,6 +458,19 @@ type (
 	ObsRequest = serve.ObsRequest
 	// ECNAction is one switch's resulting RED configuration.
 	ECNAction = serve.ECNAction
+	// ModelRef identifies the exact model version that answered a batch.
+	ModelRef = serve.ModelRef
+	// GateConfig parameterizes the shadow-eval promotion gate.
+	GateConfig = serve.GateConfig
+	// GateReport is the gate's scored verdict.
+	GateReport = serve.GateReport
+	// GateError reports a candidate the gate rejected (errors.As).
+	GateError = serve.GateError
+	// SwapError reports a hot swap rejected with serving untouched
+	// (errors.As).
+	SwapError = serve.SwapError
+	// PromotionResult is a successful promotion's summary.
+	PromotionResult = serve.PromotionResult
 )
 
 // NewDaemon assembles the control plane; serve it with Daemon.Start and
@@ -471,14 +487,53 @@ func NewInferService(bundle []byte, opts InferOptions) (*InferService, error) {
 // LoadFleetCheckpoint reads the newest intact bundle of a fleet checkpoint
 // directory, verified against its manifest's sha256, falling back to older
 // retained rounds when the latest is corrupt. The returned round counts the
-// completed merge rounds the bundle covers.
+// completed merge rounds the bundle covers. Every candidate skipped during
+// fallback — corrupt manifest, failed checksum, missing bundle — is logged
+// through the standard logger with its typed error, so an operator can see
+// why round N was passed over; use LoadFleetCheckpointLogged to redirect or
+// silence that.
 func LoadFleetCheckpoint(dir string) (models []byte, round int, err error) {
-	m, models, _, err := fleet.LoadCheckpointFallback(dir, nil)
+	return LoadFleetCheckpointLogged(dir, log.Printf)
+}
+
+// LoadFleetCheckpointLogged is LoadFleetCheckpoint with an explicit sink
+// for the per-candidate fallback diagnostics (nil = silent).
+func LoadFleetCheckpointLogged(dir string, logf func(format string, a ...any)) (models []byte, round int, err error) {
+	m, models, _, err := fleet.LoadCheckpointFallback(dir, logf)
 	if err != nil {
 		return nil, 0, err
 	}
 	return models, m.Round, nil
 }
+
+// Versioned model store (internal/modelstore) — the subsystem behind petd's
+// /models API: content-addressed bundle versions, named channels and GC.
+type (
+	// ModelStore is an on-disk, content-addressed, versioned store of model
+	// bundles.
+	ModelStore = modelstore.Store
+	// ModelVersion describes one stored bundle version.
+	ModelVersion = modelstore.VersionInfo
+)
+
+// The store's well-known channel names: what /infer answers with, what the
+// gate evaluates next, and what the last promotion displaced.
+const (
+	ModelChannelServing   = modelstore.ChannelServing
+	ModelChannelCandidate = modelstore.ChannelCandidate
+	ModelChannelPrevious  = modelstore.ChannelPrevious
+)
+
+// OpenModelStore opens (or initializes) a model store rooted at dir.
+func OpenModelStore(dir string) (*ModelStore, error) { return modelstore.Open(dir) }
+
+// BuildInfo is the build identity of the running binary (module version,
+// VCS revision, toolchain), as served by petd's GET /version and printed by
+// every CLI's -version flag.
+type BuildInfo = buildinfo.Info
+
+// ReadBuildInfo reports the running binary's build identity.
+func ReadBuildInfo() BuildInfo { return buildinfo.Read() }
 
 // Statistics.
 type (
