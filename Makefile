@@ -1,7 +1,7 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve serve-smoke results test-chaos test-pool test-store ci
+.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve serve-smoke results test-chaos test-pool test-store test-serve-chaos ci
 
 build:
 	$(GO) build ./...
@@ -87,10 +87,18 @@ test-store:
 serve-smoke:
 	$(GO) test -run 'TestDaemon' ./cmd/petd/
 
+# Serve chaos tier: the crash-only daemon suite — journal replay and
+# torn-tail recovery, SIGKILL-and-resume (a real petd subprocess), injected
+# replica panics with byte-identical parity, overload shedding, the circuit
+# breaker, the hung-job watchdog and corrupt store reads — under the race
+# detector, twice, so every recovery path runs both cold and with warm state.
+test-serve-chaos:
+	$(GO) test -race -count=2 -run 'ServeChaos|Journal|Watchdog|Admission|Breaker|Readyz|CancelIdempotent|KillRestart' ./internal/serve/ ./internal/jsonlog/ ./cmd/petd/
+
 # Regenerate the committed experiment results (EXPERIMENTS.md points here;
 # petbench_results.txt predates several schemes and the registry refactor,
 # so rebuild it rather than trusting the stale snapshot).
 results:
 	$(GO) run ./cmd/petbench -quick -exp all > petbench_results.txt
 
-ci: build build-examples vet lint test test-cli test-pool test-store serve-smoke race test-chaos
+ci: build build-examples vet lint test test-cli test-pool test-store serve-smoke race test-chaos test-serve-chaos

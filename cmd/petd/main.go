@@ -25,7 +25,8 @@
 //	GET    /models             versions, channels, live serving identity
 //	GET    /models/{ref}       one version or channel (?download=1 for the bytes)
 //	POST   /models/{ref}/promote   shadow-eval gate, then atomic hot-swap
-//	GET    /healthz            daemon, model and store status
+//	GET    /healthz            liveness: daemon, model and store status
+//	GET    /readyz             readiness: 503 + reason while degraded or saturated
 //	GET    /version            build identity of the running daemon
 //	GET    /metrics, /snapshot, /debug/pprof/...   the telemetry endpoints
 //
@@ -70,6 +71,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		schemeF  = fs.String("scheme", "PET", "registered scheme name served by /infer (see -list-schemes)")
 		replicas = fs.Int("replicas", 0, "inference replica pool size = max concurrent /infer requests (0 = one per core)")
 		maxJobs  = fs.Int("max-jobs", 1, "experiments simulating concurrently (excess queue as pending)")
+		journalF = fs.String("journal", "", "durable job journal file: jobs survive a daemon death, interrupted pretrain jobs resume from their checkpoint")
+		maxInfl  = fs.Int("max-inflight", 0, "admitted /infer requests in flight before shedding 429s (0 = 4096)")
+		inferDl  = fs.Duration("infer-deadline", 0, "default server-side /infer budget when the client sends no ?deadline= (0 = 10s)")
+		jobDl    = fs.Duration("job-deadline", 0, "hung-job watchdog: flag a pretrain job silent this long, cancel at twice it (0 = off)")
 		sse      = fs.Duration("sse", time.Second, "default /events push interval (per-client ?interval= overrides)")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for jobs and connections")
 		quiet    = fs.Bool("q", false, "suppress job progress on stderr")
@@ -115,27 +120,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Telemetry: reg,
 	}
 
+	// Boot is crash-only and degradation-tolerant: a store or bundle that
+	// cannot load keeps the daemon up and NOT-ready (with the reason on
+	// /readyz) instead of exiting — the /models ingest and promote path is
+	// exactly how an operator repairs a daemon in that state.
+	var pending string
+	notReady := func(format string, args ...any) {
+		pending = fmt.Sprintf(format, args...)
+		logf("boot degraded: %s (daemon up, /readyz not ready)", pending)
+	}
+
 	var store *pet.ModelStore
 	if *storeDir != "" {
 		var err error
 		if store, err = pet.OpenModelStore(*storeDir); err != nil {
-			return fatalf("opening model store: %v", err)
+			notReady("model store %s unusable: %v", *storeDir, err)
+		} else {
+			logf("model store %s (%d versions)", *storeDir, len(store.Versions()))
 		}
-		logf("model store %s (%d versions)", *storeDir, len(store.Versions()))
 	}
 
 	var infer *pet.InferService
 	if *models != "" {
 		bundle, src, err := loadBundle(*models, logf)
 		if err != nil {
-			return fatalf("loading models: %v", err)
+			notReady("model bundle %s unusable: %v", *models, err)
+		} else if infer, err = pet.NewInferService(bundle, inferOpts); err != nil {
+			notReady("model bundle %s rejected: %v", *models, err)
+		} else {
+			info := infer.Info()
+			logf("serving %s (%s, sha256 %.12s…, %d switches, %d replicas)",
+				*models, src, info.ModelSHA256, len(info.Switches), info.Replicas)
 		}
-		if infer, err = pet.NewInferService(bundle, inferOpts); err != nil {
-			return fatalf("%v", err)
-		}
-		info := infer.Info()
-		logf("serving %s (%s, sha256 %.12s…, %d switches, %d replicas)",
-			*models, src, info.ModelSHA256, len(info.Switches), info.Replicas)
 	} else if store != nil {
 		// Boot from the store's serving channel when it has one, so a
 		// restarted daemon resumes serving the last promoted policy.
@@ -143,24 +159,43 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			opts := inferOpts
 			opts.Version = vi.Version
 			if infer, err = pet.NewInferService(bundle, opts); err != nil {
-				return fatalf("loading serving version %d from the store: %v", vi.Version, err)
+				notReady("serving version %d from the store rejected: %v", vi.Version, err)
+			} else {
+				logf("serving store version %d (sha256 %.12s…, channel %q)",
+					vi.Version, vi.SHA256, pet.ModelChannelServing)
 			}
-			logf("serving store version %d (sha256 %.12s…, channel %q)",
-				vi.Version, vi.SHA256, pet.ModelChannelServing)
 		} else {
-			logf("store has no serving channel yet; /infer waits for a promotion")
+			notReady("store %s has no serving version yet; ingest and promote a model", *storeDir)
+		}
+	}
+
+	// The journal is the one boot input that must be intact: it is the
+	// durability contract, and mid-history corruption means operator action,
+	// not a silent shrug. (A torn final line — the crash case — recovers.)
+	var journal *pet.JobJournal
+	if *journalF != "" {
+		var err error
+		if journal, err = pet.OpenJobJournal(*journalF, logf); err != nil {
+			return fatalf("job journal: %v", err)
+		}
+		if n := len(journal.Replayed()); n > 0 {
+			logf("job journal %s: replayed %d job(s)", *journalF, n)
 		}
 	}
 
 	daemon := pet.NewDaemon(pet.DaemonConfig{
-		Telemetry:    reg,
-		Infer:        infer,
-		Store:        store,
-		InferOpts:    inferOpts,
-		KeepVersions: *keep,
-		SSEInterval:  *sse,
-		MaxJobs:      *maxJobs,
-		Logf:         logf,
+		Telemetry:     reg,
+		Infer:         infer,
+		Store:         store,
+		InferOpts:     inferOpts,
+		KeepVersions:  *keep,
+		SSEInterval:   *sse,
+		MaxJobs:       *maxJobs,
+		Journal:       journal,
+		Admission:     pet.AdmissionConfig{MaxInFlight: *maxInfl, Deadline: *inferDl},
+		Watchdog:      pet.WatchdogConfig{Deadline: *jobDl},
+		PendingReason: pending,
+		Logf:          logf,
 	})
 	srv, err := daemon.Start(*addr)
 	if err != nil {

@@ -104,6 +104,15 @@ func TestDaemonSmoke(t *testing.T) {
 		t.Fatalf("healthz = %+v", hz)
 	}
 
+	// Readiness: a daemon that booted with a model flips ready immediately.
+	var rz struct {
+		Ready bool `json:"ready"`
+	}
+	getJSON(t, base+"/readyz", &rz)
+	if !rz.Ready {
+		t.Fatalf("readyz = %+v, want ready after boot", rz)
+	}
+
 	// Lifecycle: launch a short run and watch it to completion.
 	resp, err := http.Post(base+"/experiments", "application/json",
 		strings.NewReader(`{"scheme":"SECN1","load":0.5,"warmup":"2ms","duration":"3ms"}`))
@@ -224,14 +233,116 @@ func TestDaemonListFlags(t *testing.T) {
 	}
 }
 
-// TestDaemonBadFlags: startup failures exit non-zero without binding.
+// TestDaemonBadFlags: argument errors exit non-zero without binding, and a
+// journal with mid-history damage refuses the boot — that is data
+// corruption for an operator to inspect, not something to shrug past.
 func TestDaemonBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(context.Background(), []string{"-models", "/nonexistent/bundle"}, &out, &errb); code != 1 {
-		t.Fatalf("missing bundle exit %d, want 1", code)
-	}
 	if code := run(context.Background(), []string{"-bogus-flag"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	journal := filepath.Join(t.TempDir(), "jobs.journal")
+	damaged := "{\"v\":1,\"id\":\"exp-000001\",\"state\":\"pending\"}\nnot json at all\n{\"v\":1,\"id\":\"exp-000001\",\"state\":\"running\"}\n"
+	if err := os.WriteFile(journal, []byte(damaged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(context.Background(), []string{"-journal", journal}, &out, &errb); code != 1 {
+		t.Fatalf("corrupt journal exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestDaemonDegradedBoot: a model bundle that fails to load keeps the
+// daemon up and not-ready instead of exiting — /healthz stays the liveness
+// "alive", /readyz carries the reason until a model lands.
+func TestDaemonDegradedBoot(t *testing.T) {
+	base, stop := startDaemon(t, "-models", filepath.Join(t.TempDir(), "nope.model"))
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rz struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&rz); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || rz.Ready || len(rz.Reasons) == 0 {
+		t.Fatalf("degraded readyz = %d %+v, want 503 with a reason", resp.StatusCode, rz)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, base+"/healthz", &hz)
+	if hz.Status != "ok" {
+		t.Fatalf("liveness = %+v, want ok while degraded", hz)
+	}
+	if code := stop(); code != 0 {
+		t.Fatalf("petd exited %d", code)
+	}
+}
+
+// TestDaemonStoreEmptyNotReady: -store with no serving version boots
+// not-ready but fully functional — it accepts /models ingest and a
+// promotion flips it ready. The regression this pins down: an empty
+// serving channel must never error the boot.
+func TestDaemonStoreEmptyNotReady(t *testing.T) {
+	bundle, err := trainedBundle()
+	if err != nil {
+		t.Fatalf("pre-training bundle: %v", err)
+	}
+	base, stop := startDaemon(t, "-store", filepath.Join(t.TempDir(), "models"), "-replicas", "1")
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rz struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&rz); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || rz.Ready || len(rz.Reasons) == 0 {
+		t.Fatalf("empty-store readyz = %d %+v, want 503 with a reason", resp.StatusCode, rz)
+	}
+
+	// The not-ready daemon still takes ingest and promotion.
+	resp, err = http.Post(base+"/models", "application/octet-stream", bytes.NewReader(bundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vi struct {
+		Version int `json:"version"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&vi); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || vi.Version == 0 {
+		t.Fatalf("ingest while not-ready: status %d, version %+v", resp.StatusCode, vi)
+	}
+	resp, err = http.Post(fmt.Sprintf("%s/models/%d/promote", base, vi.Version), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote while not-ready = %d: %s", resp.StatusCode, pbody)
+	}
+
+	// A model now serves: readiness flips.
+	rz.Ready = false
+	getJSON(t, base+"/readyz", &rz)
+	if !rz.Ready {
+		t.Fatalf("readyz after promotion = %+v, want ready", rz)
+	}
+	if code := stop(); code != 0 {
+		t.Fatalf("petd exited %d", code)
 	}
 }
 

@@ -146,6 +146,13 @@ type Config struct {
 	// OnRound, when non-nil, observes each completed merge round from the
 	// coordinator goroutine.
 	OnRound func(RoundStats)
+
+	// OnEpisode, when non-nil, observes every drained episode result —
+	// successes and failures alike — from the coordinator goroutine. It is
+	// a liveness signal, not a progress report: the serve layer's hung-job
+	// watchdog heartbeats on it, so it must fire even for episodes that
+	// failed, or a fleet grinding through retries would look hung.
+	OnEpisode func(round, worker int)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -539,6 +546,9 @@ func PretrainContext(ctx context.Context, s bench.Scenario, cfg Config) (Result,
 		// clean shutdown.
 		for i := 0; i < cfg.Workers; i++ {
 			out := <-results
+			if cfg.OnEpisode != nil {
+				cfg.OnEpisode(r, out.worker)
+			}
 			st.Retries += out.retries
 			st.Stragglers += out.stragglers
 			if out.err != nil {

@@ -30,10 +30,8 @@
 package modelstore
 
 import (
-	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -43,6 +41,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"pet/internal/jsonlog"
 )
 
 // The well-known channel names the serving loop uses. Channels are free-form
@@ -136,44 +136,22 @@ func (s *Store) channelPath(name string) string {
 	return filepath.Join(s.dir, channelsDir, name)
 }
 
-// replayLog restores the in-memory version list from versions.log.
+// replayLog restores the in-memory version list from versions.log. The
+// torn-tail / mid-log-damage discipline lives in jsonlog (shared with the
+// daemon's job journal); this layer adds the monotonic-version invariant.
 func (s *Store) replayLog() error {
-	f, err := os.Open(s.logPath())
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("modelstore: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var lines []string
-	for sc.Scan() {
-		if text := strings.TrimSpace(sc.Text()); text != "" {
-			lines = append(lines, text)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("%w: %v", ErrLogCorrupt, err)
-	}
-	for i, text := range lines {
-		var v VersionInfo
-		if err := json.Unmarshal([]byte(text), &v); err != nil {
-			// A torn final line is the crash-mid-append case: recoverable by
-			// dropping it. Damage before the end is not.
-			if i == len(lines)-1 {
-				return nil
-			}
-			return fmt.Errorf("%w: line %d: %v", ErrLogCorrupt, i+1, err)
-		}
+	err := jsonlog.Replay(s.logPath(), func(line int, v VersionInfo) error {
 		if want := len(s.versions) + 1; v.Version != want || v.SHA256 == "" || v.Bytes <= 0 {
 			return fmt.Errorf("%w: line %d records version %d (sha %q, %d bytes), want version %d",
-				ErrLogCorrupt, i+1, v.Version, v.SHA256, v.Bytes, want)
+				ErrLogCorrupt, line, v.Version, v.SHA256, v.Bytes, want)
 		}
 		s.versions = append(s.versions, v)
+		return nil
+	})
+	if err != nil && errors.Is(err, jsonlog.ErrCorrupt) {
+		return fmt.Errorf("%w: %v", ErrLogCorrupt, err)
 	}
-	return nil
+	return err
 }
 
 // loadChannels restores the channel pointers; a channel naming a version the
@@ -255,22 +233,8 @@ func (s *Store) Put(bundle []byte, source, note string) (VersionInfo, error) {
 		Note:      note,
 		CreatedAt: time.Now().UTC(),
 	}
-	line, err := json.Marshal(info)
-	if err != nil {
-		return VersionInfo{}, err
-	}
-	f, err := os.OpenFile(s.logPath(), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return VersionInfo{}, fmt.Errorf("modelstore: %w", err)
-	}
-	// One Write call for line+\n keeps the append all-or-nothing on local
-	// filesystems; replayLog drops a torn tail regardless.
-	if _, err := f.Write(append(line, '\n')); err != nil {
-		f.Close()
+	if err := jsonlog.Append(s.logPath(), info); err != nil {
 		return VersionInfo{}, fmt.Errorf("modelstore: appending version log: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return VersionInfo{}, fmt.Errorf("modelstore: %w", err)
 	}
 	s.versions = append(s.versions, info)
 	return info, nil

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pet/internal/telemetry"
+)
+
+// AdmissionConfig bounds the /infer admission queue and its failure policy.
+// The zero value means defaults sized for the paper fabric's poller fleet
+// (one request per switch per control interval): large enough that a healthy
+// daemon never sheds, small enough that a stalled pool surfaces as 429s in
+// one control interval instead of an unbounded goroutine pile-up.
+type AdmissionConfig struct {
+	// MaxInFlight bounds concurrently admitted /infer requests (0 = 4096).
+	MaxInFlight int
+	// HighWater marks the queue depth at which /readyz starts answering
+	// not-ready (0 = 3/4 of MaxInFlight); LowWater is where it recovers
+	// (0 = 1/2 of MaxInFlight). The gap is hysteresis, so readiness does
+	// not flap at the boundary.
+	HighWater, LowWater int
+	// Deadline is the server-side budget for an /infer request when the
+	// client sends no ?deadline= (0 = 10s); MaxDeadline caps what a client
+	// may ask for (0 = 1m).
+	Deadline, MaxDeadline time.Duration
+	// RetryAfter is the base Retry-After hint on shed responses (0 = 1s);
+	// the advertised value is jittered ±50% so a shed poller fleet does not
+	// return in lockstep.
+	RetryAfter time.Duration
+	// BreakerFailures trips the circuit breaker open after this many
+	// consecutive replica failures (0 = 5); BreakerCooldown is how long it
+	// stays open before half-opening on a probe (0 = 5s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4096
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = c.MaxInFlight * 3 / 4
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = c.MaxInFlight / 2
+	}
+	if c.LowWater > c.HighWater {
+		c.LowWater = c.HighWater
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// admission is the bounded /infer admission queue: a depth counter with
+// shed-at-capacity semantics and high/low-watermark hysteresis feeding the
+// readiness probe.
+type admission struct {
+	cfg AdmissionConfig
+
+	mu        sync.Mutex
+	depth     int
+	saturated bool // above HighWater, not yet back under LowWater
+
+	depthGauge *telemetry.Gauge
+	shed       *telemetry.Counter
+}
+
+func newAdmission(cfg AdmissionConfig, tele *telemetry.Registry) *admission {
+	return &admission{
+		cfg:        cfg.withDefaults(),
+		depthGauge: tele.Gauge("serve_queue_depth"),
+		shed:       tele.Counter("serve_shed_total"),
+	}
+}
+
+// enter admits one request or reports shed. leave must be called exactly
+// once per successful enter.
+func (a *admission) enter() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.depth >= a.cfg.MaxInFlight {
+		a.shed.Inc()
+		return false
+	}
+	a.depth++
+	if a.depth >= a.cfg.HighWater {
+		a.saturated = true
+	}
+	a.depthGauge.Set(float64(a.depth))
+	return true
+}
+
+func (a *admission) leave() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.depth--
+	if a.saturated && a.depth <= a.cfg.LowWater {
+		a.saturated = false
+	}
+	a.depthGauge.Set(float64(a.depth))
+}
+
+// overWatermark reports the hysteresis state for /readyz.
+func (a *admission) overWatermark() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.saturated
+}
+
+func (a *admission) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.depth
+}
+
+// retryAfterHeader sets a jittered Retry-After (whole seconds, minimum 1)
+// so a shed poller fleet spreads its return instead of stampeding.
+func (a *admission) retryAfterHeader(h http.Header) {
+	base := a.cfg.RetryAfter
+	jittered := base/2 + time.Duration(rand.Int63n(int64(base)+1))
+	secs := int(jittered.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	h.Set("Retry-After", strconv.Itoa(secs))
+}
+
+// budget resolves a request's server-side deadline from its ?deadline=
+// parameter, clamped to MaxDeadline; absent or unparsable means the default.
+func (a *admission) budget(raw string) time.Duration {
+	if raw == "" {
+		return a.cfg.Deadline
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return a.cfg.Deadline
+	}
+	if d > a.cfg.MaxDeadline {
+		return a.cfg.MaxDeadline
+	}
+	return d
+}
+
+// Breaker states, exported through the serve_breaker_state gauge.
+const (
+	breakerClosed   = 0 // healthy: requests flow
+	breakerOpen     = 1 // tripped: requests shed until the cooldown passes
+	breakerHalfOpen = 2 // probing: one request in flight decides
+)
+
+// errBreakerOpen sheds requests while the breaker distrusts the pool.
+var errBreakerOpen = errors.New("serve: circuit breaker open (replica pool failing)")
+
+// breaker is the /infer circuit breaker: K consecutive replica failures trip
+// it open, a cooldown later it half-opens and lets one probe through, and
+// the probe's outcome closes it or re-trips it. Only server-side replica
+// failures (panics) count; client errors never trip it.
+type breaker struct {
+	cfg AdmissionConfig
+	now func() time.Time // injectable clock for deterministic tests
+
+	mu        sync.Mutex
+	state     int
+	failures  int       // consecutive, in closed state
+	openedAt  time.Time // when the breaker last tripped
+	probing   bool      // a half-open probe is in flight
+	stateGage *telemetry.Gauge
+}
+
+func newBreaker(cfg AdmissionConfig, tele *telemetry.Registry, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg.withDefaults(), now: now, stateGage: tele.Gauge("serve_breaker_state")}
+}
+
+// allow reports whether a request may proceed, transitioning open →
+// half-open when the cooldown has passed (the caller becomes the probe).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.BreakerCooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.stateGage.Set(breakerHalfOpen)
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a request the pool served; in half-open it closes the
+// breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.stateGage.Set(breakerClosed)
+	}
+}
+
+// release clears a half-open probe claim without judging the pool — the
+// request never reached a replica (client error or shed), so it proves
+// nothing either way.
+func (b *breaker) release() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a replica failure; K in a row (or a failed half-open
+// probe) trips the breaker open.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == breakerHalfOpen {
+		b.trip()
+		return
+	}
+	if b.state == breakerClosed {
+		b.failures++
+		if b.failures >= b.cfg.BreakerFailures {
+			b.trip()
+		}
+	}
+}
+
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.failures = 0
+	b.openedAt = b.now()
+	b.stateGage.Set(breakerOpen)
+}
+
+func (b *breaker) currentState() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

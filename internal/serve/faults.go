@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pet/internal/fleet"
+)
+
+// FaultPlan injects deterministic faults into the serving layer for chaos
+// tests, mirroring fleet.FaultPlan for training: every fault has exact
+// coordinates, so a chaos run is reproducible bit for bit. The zero value
+// (and a nil plan) injects nothing.
+type FaultPlan struct {
+	// ReplicaPanics panics the inference compute for the Nth /infer batch
+	// served by the process (1-based, in admission order). The panic is
+	// recovered, the poisoned replica recycled, and the request answered 500.
+	ReplicaPanics []uint64
+
+	// StoreReadDelay stalls every store bundle read (model resolution during
+	// promotion) by this long — the slow-disk case for deadline tests.
+	StoreReadDelay time.Duration
+
+	// CorruptStoreReads flips a byte in every bundle read from the store, so
+	// checksum verification must catch it.
+	CorruptStoreReads bool
+
+	// JournalTearAfter truncates the job journal to this many bytes before
+	// replay — the torn-write case. 0 = no tear.
+	JournalTearAfter int64
+
+	// Fleet is threaded into every pretrain job's fleet config, so episode
+	// faults (fail/panic/hang) can be injected through the daemon API.
+	Fleet *fleet.FaultPlan
+
+	inferSeq atomic.Uint64 // batches served so far (admission order)
+}
+
+// panicsBatch reports whether the next /infer batch should panic, advancing
+// the process-wide batch counter. Nil-safe.
+func (p *FaultPlan) panicsBatch() bool {
+	if p == nil {
+		return false
+	}
+	seq := p.inferSeq.Add(1)
+	for _, n := range p.ReplicaPanics {
+		if n == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// corruptBundle applies the plan's store-read faults to a bundle copy.
+// Nil-safe; returns bundle untouched when no fault applies.
+func (p *FaultPlan) corruptBundle(bundle []byte) []byte {
+	if p == nil {
+		return bundle
+	}
+	if p.StoreReadDelay > 0 {
+		time.Sleep(p.StoreReadDelay)
+	}
+	if !p.CorruptStoreReads || len(bundle) == 0 {
+		return bundle
+	}
+	out := make([]byte, len(bundle))
+	copy(out, bundle)
+	out[len(out)/2] ^= 0xff
+	return out
+}
+
+func (p *FaultPlan) fleetFaults() *fleet.FaultPlan {
+	if p == nil {
+		return nil
+	}
+	return p.Fleet
+}

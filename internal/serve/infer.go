@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -106,6 +108,8 @@ type InferOptions struct {
 	Version int
 	// Telemetry (nil ok) receives the petd_infer_* series.
 	Telemetry *telemetry.Registry
+	// Faults (nil ok) injects deterministic replica panics for chaos tests.
+	Faults *FaultPlan
 }
 
 // replica is one single-threaded inference lane.
@@ -115,11 +119,31 @@ type replica struct {
 }
 
 // modelPool is one model version's complete serving state: immutable after
-// construction, published wholesale through InferService.cur.
+// construction, published wholesale through InferService.cur. The bundle is
+// retained so a replica poisoned by a panic can be rebuilt in place.
 type modelPool struct {
 	version  int
 	sha      string
+	bundle   []byte
 	replicas chan *replica
+}
+
+// ErrOverloaded reports a request that could not lease a replica within its
+// deadline: the pool is saturated (or hung) and the request was shed rather
+// than queued indefinitely. The API layer maps it to 503 + Retry-After.
+var ErrOverloaded = errors.New("serve: inference pool overloaded")
+
+// ReplicaPanicError reports a batch whose compute panicked. The panic was
+// recovered, the poisoned replica discarded and a fresh one rebuilt from the
+// serving bundle, so the pool stays whole; only this batch is lost. The API
+// layer maps it to 500 and feeds the circuit breaker.
+type ReplicaPanicError struct {
+	Version int    // model version that was computing
+	Panic   string // the recovered panic value
+}
+
+func (e *ReplicaPanicError) Error() string {
+	return fmt.Sprintf("serve: inference replica panicked (model version %d, replica recycled): %s", e.Version, e.Panic)
 }
 
 // SwapError reports a rejected hot swap: the candidate bundle failed to
@@ -140,10 +164,11 @@ func (e *SwapError) Unwrap() error { return e.Cause }
 // replicas loaded from one model bundle, hot-swappable to a new bundle
 // without dropping a request.
 type InferService struct {
-	opts     InferOptions // normalized; reused by Swap
-	obsDim   int
-	switches []int
-	maxBatch int
+	opts      InferOptions // normalized; reused by Swap
+	obsDim    int
+	switches  []int
+	switchSet map[int]bool // membership view of switches, for pre-lease validation
+	maxBatch  int
 
 	cur       atomic.Pointer[modelPool]
 	swapMu    sync.Mutex // serializes Swap; Infer never takes it
@@ -151,6 +176,7 @@ type InferService struct {
 
 	requests, observations, errors *telemetry.Counter
 	swaps, swapFailures            *telemetry.Counter
+	replicaPanics                  *telemetry.Counter
 	servingVersion                 *telemetry.Gauge
 	batchObs                       *telemetry.Histogram
 }
@@ -180,6 +206,7 @@ func NewInferService(bundle []byte, opts InferOptions) (*InferService, error) {
 		errors:         opts.Telemetry.Counter("petd_infer_errors_total"),
 		swaps:          opts.Telemetry.Counter("petd_infer_swaps_total"),
 		swapFailures:   opts.Telemetry.Counter("petd_infer_swap_failures_total"),
+		replicaPanics:  opts.Telemetry.Counter("serve_replica_panics_total"),
 		servingVersion: opts.Telemetry.Gauge("petd_infer_serving_version"),
 		batchObs:       opts.Telemetry.Histogram("petd_infer_batch_obs", telemetry.ExpBuckets(1, 2, 13)),
 	}
@@ -189,9 +216,41 @@ func NewInferService(bundle []byte, opts InferOptions) (*InferService, error) {
 	}
 	s.obsDim = obsDim
 	s.switches = switches
+	s.switchSet = make(map[int]bool, len(switches))
+	for _, sw := range switches {
+		s.switchSet[sw] = true
+	}
 	s.cur.Store(pool)
 	s.servingVersion.Set(float64(opts.Version))
 	return s, nil
+}
+
+// newReplica assembles one inference lane from a bundle, returning its
+// controller so callers can read the serving contract (width, switch set).
+func (s *InferService) newReplica(bundle []byte) (*replica, *core.Controller, error) {
+	topoCfg, err := bench.TopoByName(s.opts.Topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := bench.NewEnv(bench.Scenario{
+		Topo:   topoCfg,
+		Scheme: bench.Scheme(s.opts.Scheme),
+		Models: bundle,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: assembling inference replica: %w", err)
+	}
+	ctl, ok := env.Control.(*core.Controller)
+	if !ok {
+		return nil, nil, fmt.Errorf("serve: scheme %q is a %T, not the per-switch IPPO controller required for serving",
+			s.opts.Scheme, env.Control)
+	}
+	r := &replica{agents: map[topo.NodeID]*core.SwitchAgent{}}
+	for _, a := range ctl.Agents() {
+		r.agents[a.Switch] = a
+	}
+	r.acts = make([]int, len(ctl.Config().Heads()))
+	return r, ctl, nil
 }
 
 // buildPool assembles a complete replica pool for one bundle and reports
@@ -200,38 +259,20 @@ func (s *InferService) buildPool(bundle []byte, version int) (*modelPool, int, [
 	if len(bundle) == 0 {
 		return nil, 0, nil, fmt.Errorf("serve: empty model bundle")
 	}
-	topoCfg, err := bench.TopoByName(s.opts.Topo)
-	if err != nil {
-		return nil, 0, nil, err
-	}
 	sum := sha256.Sum256(bundle)
 	pool := &modelPool{
 		version:  version,
 		sha:      hex.EncodeToString(sum[:]),
+		bundle:   bundle,
 		replicas: make(chan *replica, s.opts.Replicas),
-	}
-	scenario := bench.Scenario{
-		Topo:   topoCfg,
-		Scheme: bench.Scheme(s.opts.Scheme),
-		Models: bundle,
 	}
 	var obsDim int
 	var switches []int
 	for i := 0; i < s.opts.Replicas; i++ {
-		env, err := bench.NewEnv(scenario)
+		r, ctl, err := s.newReplica(bundle)
 		if err != nil {
-			return nil, 0, nil, fmt.Errorf("serve: assembling inference replica %d: %w", i, err)
+			return nil, 0, nil, err
 		}
-		ctl, ok := env.Control.(*core.Controller)
-		if !ok {
-			return nil, 0, nil, fmt.Errorf("serve: scheme %q is a %T, not the per-switch IPPO controller required for serving",
-				s.opts.Scheme, env.Control)
-		}
-		r := &replica{agents: map[topo.NodeID]*core.SwitchAgent{}}
-		for _, a := range ctl.Agents() {
-			r.agents[a.Switch] = a
-		}
-		r.acts = make([]int, len(ctl.Config().Heads()))
 		if i == 0 {
 			obsDim = ctl.Config().ObsDim()
 			for _, a := range ctl.Agents() {
@@ -309,14 +350,26 @@ func (s *InferService) Info() InferInfo {
 	}
 }
 
-// Infer answers one batch: out[i] receives the action for reqs[i], and out
-// must be at least len(reqs) long. The returned ModelRef identifies the
-// single model version that computed every action in the batch — a swap
-// landing mid-batch takes effect at the next lease, never inside one. The
-// batch is validated before the first forward pass, so an error means no
-// partial work; the computation itself allocates nothing. Safe for
-// concurrent use — each call leases one replica for its duration.
+// Infer answers one batch with no deadline; see InferContext.
 func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) (ModelRef, error) {
+	return s.InferContext(context.Background(), reqs, out)
+}
+
+// InferContext answers one batch: out[i] receives the action for reqs[i],
+// and out must be at least len(reqs) long. The returned ModelRef identifies
+// the single model version that computed every action in the batch — a swap
+// landing mid-batch takes effect at the next lease, never inside one. The
+// batch is validated before a replica is leased, so an invalid request
+// never consumes pool capacity; the computation itself allocates nothing.
+//
+// ctx bounds the replica lease: a pool still saturated at the deadline
+// sheds the request with an error wrapping ErrOverloaded instead of queuing
+// it indefinitely. A panic inside the compute is recovered and reported as
+// a *ReplicaPanicError; the poisoned replica is discarded and a fresh one
+// rebuilt from the serving bundle before the call returns, so one bad batch
+// never shrinks the pool. Safe for concurrent use — each call leases one
+// replica for its duration.
+func (s *InferService) InferContext(ctx context.Context, reqs []ObsRequest, out []ECNAction) (ModelRef, error) {
 	s.requests.Inc()
 	// One atomic load pins the batch to one model version: lease, compute
 	// and report all against the same pool.
@@ -334,14 +387,9 @@ func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) (ModelRef, erro
 		s.errors.Inc()
 		return ref, fmt.Errorf("serve: output scratch holds %d actions, batch has %d", len(out), len(reqs))
 	}
-
-	r := <-p.replicas
-	defer func() { p.replicas <- r }()
-
 	for i := range reqs {
 		req := &reqs[i]
-		a := r.agents[topo.NodeID(req.Switch)]
-		if a == nil {
+		if !s.switchSet[req.Switch] {
 			s.errors.Inc()
 			return ref, fmt.Errorf("serve: request %d: no agent for switch %d (serving switches %v)",
 				i, req.Switch, s.switches)
@@ -352,12 +400,49 @@ func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) (ModelRef, erro
 				i, req.Switch, len(req.Obs), s.obsDim)
 		}
 	}
+
+	var r *replica
+	select {
+	case r = <-p.replicas:
+	case <-ctx.Done():
+		s.errors.Inc()
+		return ref, fmt.Errorf("%w: no replica free within the request deadline", ErrOverloaded)
+	}
+	err := s.computeBatch(r, reqs, out)
+	if err != nil {
+		s.errors.Inc()
+		var rp *ReplicaPanicError
+		if errors.As(err, &rp) {
+			rp.Version = p.version
+			s.recycle(p) // the poisoned replica is dropped; restore capacity
+			return ref, err
+		}
+		p.replicas <- r
+		return ref, err
+	}
+	p.replicas <- r
+	s.observations.Add(uint64(len(reqs)))
+	s.batchObs.Observe(float64(len(reqs)))
+	return ref, nil
+}
+
+// computeBatch runs the forward passes on one leased replica, converting a
+// panic — a bug or an injected fault — into a *ReplicaPanicError instead of
+// taking the daemon down.
+func (s *InferService) computeBatch(r *replica, reqs []ObsRequest, out []ECNAction) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &ReplicaPanicError{Panic: fmt.Sprint(p)}
+		}
+	}()
+	if s.opts.Faults.panicsBatch() {
+		panic("injected replica fault")
+	}
 	for i := range reqs {
 		req := &reqs[i]
-		cfg, err := r.agents[topo.NodeID(req.Switch)].InferECN(req.Obs, r.acts)
-		if err != nil { // unreachable post-validation; belt and braces
-			s.errors.Inc()
-			return ref, err
+		cfg, ierr := r.agents[topo.NodeID(req.Switch)].InferECN(req.Obs, r.acts)
+		if ierr != nil { // unreachable post-validation; belt and braces
+			return ierr
 		}
 		out[i] = ECNAction{
 			Switch:    req.Switch,
@@ -366,7 +451,18 @@ func (s *InferService) Infer(reqs []ObsRequest, out []ECNAction) (ModelRef, erro
 			Pmax:      cfg.Pmax,
 		}
 	}
-	s.observations.Add(uint64(len(reqs)))
-	s.batchObs.Observe(float64(len(reqs)))
-	return ref, nil
+	return nil
+}
+
+// recycle rebuilds one replica from the pool's own bundle after a panic
+// poisoned a lane. The bundle already validated at pool construction, so a
+// rebuild failure here is a programming error worth surfacing as a counter,
+// not a reason to block; the pool then runs one lane short.
+func (s *InferService) recycle(p *modelPool) {
+	s.replicaPanics.Inc()
+	r, _, err := s.newReplica(p.bundle)
+	if err != nil {
+		return
+	}
+	p.replicas <- r
 }

@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pet/internal/bench"
@@ -21,18 +22,23 @@ import (
 // JobState is one experiment's lifecycle position.
 type JobState string
 
-// The lifecycle: pending → running → one of the terminal states.
+// The lifecycle: pending → running → one of the terminal states. A daemon
+// death adds two journal-only transitions: a job caught mid-flight is
+// replayed as interrupted, and an interrupted pretrain job with a checkpoint
+// is marked resumed before it runs again under the same ID.
 const (
-	StatePending   JobState = "pending"   // accepted, waiting for a slot
-	StateRunning   JobState = "running"   // simulating
-	StateDone      JobState = "done"      // finished, result available
-	StateFailed    JobState = "failed"    // assembly or run error
-	StateCancelled JobState = "cancelled" // DELETE'd or daemon shutdown
+	StatePending     JobState = "pending"     // accepted, waiting for a slot
+	StateRunning     JobState = "running"     // simulating
+	StateDone        JobState = "done"        // finished, result available
+	StateFailed      JobState = "failed"      // assembly or run error
+	StateCancelled   JobState = "cancelled"   // DELETE'd or daemon shutdown
+	StateInterrupted JobState = "interrupted" // daemon died mid-job, not resumable
+	StateResumed     JobState = "resumed"     // journal transition: relaunching after interrupt
 )
 
 // Terminal reports whether a state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateInterrupted
 }
 
 // RunSummary is the compact, JSON-stable result view of a completed
@@ -93,17 +99,24 @@ type JobStatus struct {
 	CreatedAt  time.Time        `json:"created_at"`
 	StartedAt  *time.Time       `json:"started_at,omitempty"`
 	FinishedAt *time.Time       `json:"finished_at,omitempty"`
-	Rounds     int              `json:"rounds,omitempty"` // pretrain progress, live
+	Rounds     int              `json:"rounds,omitempty"`  // pretrain progress, live
+	Resumed    bool             `json:"resumed,omitempty"` // relaunched from the journal after a daemon death
+	Stalled    bool             `json:"stalled,omitempty"` // watchdog flagged: no progress within the deadline
 	Result     *RunSummary      `json:"result,omitempty"`
 	Pretrain   *PretrainSummary `json:"pretrain,omitempty"`
 }
 
-// job is the manager's internal record; mu guards every mutable field.
+// job is the manager's internal record; mu guards every mutable field
+// except beat, which episode callbacks touch from fleet workers.
 type job struct {
 	mu     sync.Mutex
 	status JobStatus
-	cancel context.CancelFunc
+	cancel context.CancelCauseFunc
 	models []byte // trained bundle of a done pretrain job
+
+	// beat is the last progress heartbeat (UnixNano); nonzero only for jobs
+	// that emit heartbeats (pretrain), which the watchdog watches.
+	beat atomic.Int64
 }
 
 func (j *job) snapshot() JobStatus {
@@ -129,6 +142,13 @@ type Manager struct {
 	// asks to publish; set by serve.New before any launch.
 	store *modelstore.Store
 
+	// journal (nil ok) durably records every accept and transition; set by
+	// serve.New before any launch.
+	journal *Journal
+
+	// faults (nil ok) threads chaos-test fault injection into pretrain jobs.
+	faults *FaultPlan
+
 	slots chan struct{} // concurrency semaphore
 
 	mu     sync.Mutex
@@ -139,6 +159,7 @@ type Manager struct {
 	wg sync.WaitGroup
 
 	started, finished, failed, cancelled *telemetry.Counter
+	resumed                              *telemetry.Counter
 	running                              *telemetry.Gauge
 }
 
@@ -162,6 +183,7 @@ func NewManager(maxConcurrent int, tele *telemetry.Registry, logf func(string, .
 		finished:  tele.Counter("petd_jobs_done_total"),
 		failed:    tele.Counter("petd_jobs_failed_total"),
 		cancelled: tele.Counter("petd_jobs_cancelled_total"),
+		resumed:   tele.Counter("jobs_resumed_total"),
 		running:   tele.Gauge("petd_jobs_running"),
 	}
 }
@@ -185,7 +207,18 @@ func (m *Manager) Launch(spec ExperimentSpec) (JobStatus, error) {
 	}
 	m.nextID++
 	id := fmt.Sprintf("exp-%06d", m.nextID)
-	ctx, cancel := context.WithCancel(context.Background())
+	// Journal the accept before the job exists in memory: a crash right here
+	// replays as an interrupted job, never a job that silently vanished. A
+	// journal that cannot take the entry fails the launch — durability is
+	// the contract, not best-effort.
+	if m.journal != nil {
+		if err := m.journal.Record(id, StatePending, &spec, ""); err != nil {
+			m.nextID--
+			m.mu.Unlock()
+			return JobStatus{}, fmt.Errorf("serve: journaling job: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &job{
 		status: JobStatus{
 			ID:        id,
@@ -206,20 +239,115 @@ func (m *Manager) Launch(spec ExperimentSpec) (JobStatus, error) {
 	return j.snapshot(), nil
 }
 
+// journalRecord appends a transition, logging (not failing the job) when the
+// journal cannot take it — the job already ran; losing its transition is a
+// durability gap worth a line, not a spurious failure.
+func (m *Manager) journalRecord(id string, state JobState, errMsg string) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.Record(id, state, nil, errMsg); err != nil {
+		m.logf("job %s: journal append failed: %v", id, err)
+	}
+}
+
+// adoptReplayed reconstructs journal-replayed jobs at boot: terminal jobs
+// come back as inert records, jobs the dead daemon left mid-flight are
+// journaled interrupted, and interrupted pretrain jobs with a checkpoint
+// directory are resumed under their original ID.
+func (m *Manager) adoptReplayed(replayed []ReplayedJob) {
+	for _, rj := range replayed {
+		var n int
+		if _, err := fmt.Sscanf(rj.ID, "exp-%d", &n); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+		if rj.State.Terminal() {
+			m.adoptRecord(rj, rj.State, rj.Error)
+			continue
+		}
+		// The previous process died while this job was pending or running.
+		m.journalRecord(rj.ID, StateInterrupted, "daemon restarted mid-job")
+		if rj.Spec.Kind == KindPretrain && rj.Spec.Checkpoint != "" {
+			m.journalRecord(rj.ID, StateResumed, "")
+			m.relaunch(rj)
+			continue
+		}
+		m.adoptRecord(rj, StateInterrupted, "daemon restarted mid-job")
+	}
+}
+
+// adoptRecord registers a replayed job as an inert record: visible through
+// the lifecycle API, cancellable as a no-op, never executed.
+func (m *Manager) adoptRecord(rj ReplayedJob, state JobState, errMsg string) {
+	j := &job{
+		status: JobStatus{
+			ID:         rj.ID,
+			Kind:       rj.Spec.Kind,
+			State:      state,
+			Error:      errMsg,
+			Spec:       rj.Spec,
+			CreatedAt:  rj.CreatedAt,
+			StartedAt:  rj.StartedAt,
+			FinishedAt: rj.FinishedAt,
+			Resumed:    rj.Resumed,
+		},
+		cancel: func(error) {},
+	}
+	m.mu.Lock()
+	m.jobs[rj.ID] = j
+	m.mu.Unlock()
+}
+
+// relaunch restarts an interrupted pretrain job under its original ID, with
+// Resume set so the fleet picks up from its latest readable checkpoint
+// (LoadCheckpointFallback): at most one round of work is lost to the death.
+func (m *Manager) relaunch(rj ReplayedJob) {
+	spec := rj.Spec
+	spec.Resume = true
+	if _, _, _, err := spec.scenario(); err != nil {
+		// The spec no longer assembles (e.g. a scheme this build dropped);
+		// surface that as a failure rather than refusing to boot.
+		m.logf("job %s: resume failed: %v", rj.ID, err)
+		m.journalRecord(rj.ID, StateFailed, err.Error())
+		m.adoptRecord(rj, StateFailed, err.Error())
+		return
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j := &job{
+		status: JobStatus{
+			ID:        rj.ID,
+			Kind:      spec.Kind,
+			State:     StatePending,
+			Spec:      spec,
+			CreatedAt: rj.CreatedAt,
+			Resumed:   true,
+		},
+		cancel: cancel,
+	}
+	m.mu.Lock()
+	m.jobs[rj.ID] = j
+	m.wg.Add(1)
+	m.mu.Unlock()
+	m.resumed.Inc()
+	m.started.Inc()
+	m.logf("job %s: resuming interrupted pretrain from checkpoint %s", rj.ID, spec.Checkpoint)
+	go m.execute(ctx, j)
+}
+
 // execute is one job goroutine: wait for a slot, run, record the outcome.
 func (m *Manager) execute(ctx context.Context, j *job) {
 	defer m.wg.Done()
-	defer j.cancel() // release the context's resources on every path
+	defer j.cancel(nil) // release the context's resources on every path
 
 	select {
 	case m.slots <- struct{}{}:
 		defer func() { <-m.slots }()
 	case <-ctx.Done():
-		m.finish(j, StateCancelled, ctx.Err())
+		m.finish(j, StateCancelled, context.Cause(ctx))
 		return
 	}
 	if ctx.Err() != nil { // cancelled while acquiring the last slot
-		m.finish(j, StateCancelled, ctx.Err())
+		m.finish(j, StateCancelled, context.Cause(ctx))
 		return
 	}
 
@@ -228,7 +356,14 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 	j.status.State = StateRunning
 	j.status.StartedAt = &now
 	spec := j.status.Spec
+	id := j.status.ID
 	j.mu.Unlock()
+	if spec.Kind == KindPretrain {
+		// Pretrain progress heartbeats start now; run jobs have no episode
+		// counter, so the watchdog leaves them alone (beat stays zero).
+		j.beat.Store(now.UnixNano())
+	}
+	m.journalRecord(id, StateRunning, "")
 	m.running.Add(1)
 	defer m.running.Add(-1)
 
@@ -242,6 +377,11 @@ func (m *Manager) execute(ctx context.Context, j *job) {
 	case err == nil:
 		m.finish(j, StateDone, nil)
 	case ctx.Err() != nil:
+		// Prefer the cancellation cause (e.g. the watchdog's verdict) over
+		// the run's own wrapped context error.
+		if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+			err = cause
+		}
 		m.finish(j, StateCancelled, err)
 	default:
 		m.finish(j, StateFailed, err)
@@ -287,12 +427,20 @@ func (m *Manager) runPretrain(ctx context.Context, j *job, spec ExperimentSpec) 
 		Episode:    episode,
 		Checkpoint: spec.Checkpoint,
 		Resume:     spec.Resume,
+		Faults:     m.faults.fleetFaults(),
 		Telemetry:  m.tele,
 		Logf:       func(format string, a ...any) { m.logf("job %s: "+format, append([]any{j.status.ID}, a...)...) },
 		OnRound: func(r fleet.RoundStats) {
 			j.mu.Lock()
 			j.status.Rounds = r.Round + 1
 			j.mu.Unlock()
+			j.beat.Store(time.Now().UnixNano())
+		},
+		OnEpisode: func(round, worker int) {
+			// Liveness, not progress: every drained episode — even a failed
+			// one — proves the fleet is still moving, so the watchdog only
+			// fires on true silence.
+			j.beat.Store(time.Now().UnixNano())
 		},
 	}
 	res, err := fleet.PretrainContext(ctx, s, cfg)
@@ -346,7 +494,9 @@ func (m *Manager) finish(j *job, state JobState, err error) {
 		j.status.Error = err.Error()
 	}
 	id := j.status.ID
+	errMsg := j.status.Error
 	j.mu.Unlock()
+	m.journalRecord(id, state, errMsg)
 	switch state {
 	case StateDone:
 		m.finished.Inc()
@@ -402,18 +552,25 @@ func (m *Manager) List() []JobStatus {
 	return out
 }
 
-// Cancel requests cancellation of a pending or running job. It returns the
-// job's (possibly already terminal) status; cancellation of a terminal job
-// is a no-op. The second result reports whether the job exists.
-func (m *Manager) Cancel(id string) (JobStatus, bool) {
+// Cancel requests cancellation of a pending or running job. Cancelling a
+// job already in a terminal state is a stable no-op: the terminal status
+// comes back with alreadyTerminal set, so the API layer can answer 409 with
+// the same body every time. ok reports whether the job exists.
+func (m *Manager) Cancel(id string) (st JobStatus, alreadyTerminal, ok bool) {
 	m.mu.Lock()
 	j := m.jobs[id]
 	m.mu.Unlock()
 	if j == nil {
-		return JobStatus{}, false
+		return JobStatus{}, false, false
 	}
-	j.cancel()
-	return j.snapshot(), true
+	j.mu.Lock()
+	terminal := j.status.State.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		return j.snapshot(), true, true
+	}
+	j.cancel(nil)
+	return j.snapshot(), false, true
 }
 
 // Shutdown cancels every live job and waits for all job goroutines to
@@ -423,7 +580,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
 	for _, j := range m.jobs {
-		j.cancel()
+		j.cancel(nil)
 	}
 	m.mu.Unlock()
 

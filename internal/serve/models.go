@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -97,12 +99,29 @@ func (s *Server) writeModelError(w http.ResponseWriter, err error) {
 }
 
 // resolveRef looks up a version by number ("3") or channel name
-// ("serving"), returning its metadata and sha-verified bytes.
+// ("serving"), returning its metadata and sha-verified bytes. The checksum
+// is verified end to end — after the read lands in this process, not just
+// inside the store — so a bundle corrupted anywhere between disk and the
+// promote path is rejected before it can reach a replica pool. The chaos
+// fault plan injects its store-read faults (delay, corruption) here.
 func (s *Server) resolveRef(ref string) (modelstore.VersionInfo, []byte, error) {
-	if v, err := strconv.Atoi(ref); err == nil {
-		return s.store.Get(v)
+	var vi modelstore.VersionInfo
+	var bundle []byte
+	var err error
+	if v, aerr := strconv.Atoi(ref); aerr == nil {
+		vi, bundle, err = s.store.Get(v)
+	} else {
+		vi, bundle, err = s.store.Resolve(ref)
 	}
-	return s.store.Resolve(ref)
+	if err != nil {
+		return vi, nil, err
+	}
+	bundle = s.cfg.Faults.corruptBundle(bundle)
+	if sum := sha256.Sum256(bundle); hex.EncodeToString(sum[:]) != vi.SHA256 {
+		return vi, nil, fmt.Errorf("serve: version %d read back with the wrong checksum: %w",
+			vi.Version, modelstore.ErrBundleCorrupt)
+	}
+	return vi, bundle, nil
 }
 
 // handleModelIngest is POST /models: store a candidate bundle. The body is

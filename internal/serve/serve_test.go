@@ -126,16 +126,16 @@ func TestJobCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Launch: %v", err)
 	}
-	if _, ok := m.Cancel(st.ID); !ok {
+	if _, _, ok := m.Cancel(st.ID); !ok {
 		t.Fatalf("Cancel(%s) reported missing job", st.ID)
 	}
 	done := waitTerminal(t, m, st.ID, 2*time.Minute)
 	if done.State != StateCancelled {
 		t.Fatalf("cancelled job finished %s, want %s", done.State, StateCancelled)
 	}
-	// Cancelling a terminal job is a harmless no-op.
-	if again, ok := m.Cancel(st.ID); !ok || again.State != StateCancelled {
-		t.Fatalf("re-cancel = %s, ok=%v", again.State, ok)
+	// Cancelling a terminal job is a harmless no-op, flagged as such.
+	if again, alreadyTerminal, ok := m.Cancel(st.ID); !ok || !alreadyTerminal || again.State != StateCancelled {
+		t.Fatalf("re-cancel = %s, alreadyTerminal=%v, ok=%v", again.State, alreadyTerminal, ok)
 	}
 }
 
@@ -301,13 +301,19 @@ func TestServerEndpoints(t *testing.T) {
 	}
 
 	// Cancel the job over HTTP, then shut the server down and make sure the
-	// SSE client receives the explicit goodbye.
+	// SSE client receives the explicit goodbye. The quick run may already
+	// have finished, in which case DELETE answers 409 with the terminal
+	// status instead of 200.
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/experiments/"+st.ID, nil)
 	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatalf("DELETE: %v", err)
 	}
-	decodeTestJSON(t, resp, http.StatusOK, &got)
+	if resp.StatusCode == http.StatusConflict {
+		decodeTestJSON(t, resp, http.StatusConflict, &got)
+	} else {
+		decodeTestJSON(t, resp, http.StatusOK, &got)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()

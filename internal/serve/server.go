@@ -47,6 +47,28 @@ type Config struct {
 	MaxJobs int
 	// Logf (nil = silent) receives one line per job state change.
 	Logf func(format string, a ...any)
+	// Journal (nil ok) is the durable job journal, pre-opened with
+	// OpenJournal so replay errors surface before the server exists. New
+	// adopts every replayed job: terminal jobs reappear as records, jobs
+	// the previous process left mid-flight are journaled interrupted, and
+	// interrupted pretrain jobs with a checkpoint directory resume under
+	// their original IDs.
+	Journal *Journal
+	// Admission bounds the /infer admission queue, its deadlines, shed
+	// policy and circuit breaker (zero value = defaults; see
+	// AdmissionConfig).
+	Admission AdmissionConfig
+	// Watchdog enables the hung-job watchdog (zero value = disabled).
+	Watchdog WatchdogConfig
+	// PendingReason, when nonempty, boots the daemon not-ready: /readyz
+	// answers 503 with this reason until a model is loaded or promoted.
+	// It is how a failed boot-time bundle load degrades gracefully instead
+	// of exiting.
+	PendingReason string
+	// Faults (nil ok) injects deterministic serve-layer faults for chaos
+	// tests; threaded into pretrain jobs, store reads and — for pools the
+	// server builds itself — inference batches.
+	Faults *FaultPlan
 }
 
 // Server is the resident control plane: experiment lifecycle, SSE telemetry,
@@ -67,6 +89,11 @@ type Server struct {
 	// moves → GC); /infer traffic never takes it.
 	promoteMu sync.Mutex
 
+	// admit and brk guard POST /infer: bounded admission with watermark
+	// hysteresis, and a circuit breaker fed by replica failures.
+	admit *admission
+	brk   *breaker
+
 	done      chan struct{} // closed by Shutdown before the HTTP drain
 	closeOnce sync.Once
 
@@ -86,23 +113,40 @@ func New(cfg Config) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	// Pools the server builds itself (promotions on a model-less daemon)
+	// inherit the serve-layer fault plan.
+	cfg.InferOpts.Faults = cfg.Faults
 	s := &Server{
 		cfg:            cfg,
 		reg:            cfg.Telemetry,
 		mgr:            NewManager(cfg.MaxJobs, cfg.Telemetry, cfg.Logf),
 		store:          cfg.Store,
 		logf:           logf,
+		admit:          newAdmission(cfg.Admission, cfg.Telemetry),
+		brk:            newBreaker(cfg.Admission, cfg.Telemetry, nil),
 		done:           make(chan struct{}),
 		sseClients:     cfg.Telemetry.Gauge("petd_sse_clients"),
 		ingests:        cfg.Telemetry.Counter("petd_models_ingested_total"),
 		promotions:     cfg.Telemetry.Counter("petd_models_promoted_total"),
 		promoteRejects: cfg.Telemetry.Counter("petd_models_promote_rejected_total"),
 	}
+	// Register the robustness series up front so they are present (zero) in
+	// /metrics even before anything trips them.
+	cfg.Telemetry.Counter("serve_replica_panics_total")
+	cfg.Telemetry.Counter("job_watchdog_trips_total")
 	if cfg.Infer != nil {
 		s.infer.Store(cfg.Infer)
 	}
 	// Finished pretrain jobs publish into the same store (spec.publish).
 	s.mgr.store = cfg.Store
+	s.mgr.faults = cfg.Faults
+	if cfg.Journal != nil {
+		s.mgr.journal = cfg.Journal
+		s.mgr.adoptReplayed(cfg.Journal.Replayed())
+	}
+	if cfg.Watchdog.Deadline > 0 {
+		startWatchdog(cfg.Watchdog, s.mgr, cfg.Telemetry, logf, s.done)
+	}
 	return s
 }
 
@@ -131,6 +175,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /models/{ref}", s.handleModelGet)
 	mux.HandleFunc("POST /models/{ref}/promote", s.handleModelPromote)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /version", s.handleVersion)
 	mux.Handle("/", telemetry.Handler(s.reg))
 	return mux
@@ -252,9 +297,15 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.mgr.Cancel(r.PathValue("id"))
+	st, alreadyTerminal, ok := s.mgr.Cancel(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", r.PathValue("id")))
+		return
+	}
+	if alreadyTerminal {
+		// Idempotent and stable: re-cancelling a finished job is a conflict
+		// carrying the terminal status, identical on every retry.
+		writeJSON(w, http.StatusConflict, st)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -266,18 +317,54 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errNoModel)
 		return
 	}
+	if !s.brk.allow() {
+		s.admit.shed.Inc()
+		s.admit.retryAfterHeader(w.Header())
+		writeError(w, http.StatusServiceUnavailable, errBreakerOpen)
+		return
+	}
+	if !s.admit.enter() {
+		s.brk.release()
+		s.admit.retryAfterHeader(w.Header())
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("serve: admission queue full (%d in flight)", s.admit.cfg.MaxInFlight))
+		return
+	}
+	defer s.admit.leave()
 	var req InferRequest
 	if err := decodeBody(w, r, &req); err != nil {
+		s.brk.release()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The server-side budget: the client's ?deadline= clamped to the
+	// configured maximum, or the default. It bounds the replica lease, so a
+	// saturated pool sheds instead of queuing forever.
+	ctx, cancel := context.WithTimeout(r.Context(), s.admit.budget(r.URL.Query().Get("deadline")))
+	defer cancel()
 	resp := InferResponse{Actions: make([]ECNAction, len(req.Requests))}
-	ref, err := svc.Infer(req.Requests, resp.Actions)
+	ref, err := svc.InferContext(ctx, req.Requests, resp.Actions)
 	resp.ModelVersion, resp.ModelSHA256 = ref.Version, ref.SHA256
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var rp *ReplicaPanicError
+		switch {
+		case errors.As(err, &rp):
+			// A server-side replica failure: feeds the breaker.
+			s.brk.failure()
+			writeError(w, http.StatusInternalServerError, err)
+		case errors.Is(err, ErrOverloaded):
+			s.brk.release()
+			s.admit.shed.Inc()
+			s.admit.retryAfterHeader(w.Header())
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			// Client errors never move the breaker.
+			s.brk.release()
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
+	s.brk.success()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -310,6 +397,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// readyzResponse is the GET /readyz document. Liveness and readiness are
+// deliberately split: /healthz says "the process is up", /readyz says "send
+// me traffic" — a booting, degraded or saturated daemon is alive but not
+// ready, and a load balancer must be able to tell the difference.
+type readyzResponse struct {
+	Ready      bool     `json:"ready"`
+	Reasons    []string `json:"reasons,omitempty"`
+	QueueDepth int      `json:"queue_depth"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := readyzResponse{QueueDepth: s.admit.queueDepth()}
+	select {
+	case <-s.done:
+		resp.Reasons = append(resp.Reasons, "shutting down")
+	default:
+	}
+	// A daemon that booted degraded (failed bundle load, empty serving
+	// channel, unreachable store) carries its reason until a model lands.
+	if s.cfg.PendingReason != "" && s.infer.Load() == nil {
+		resp.Reasons = append(resp.Reasons, s.cfg.PendingReason)
+	}
+	if s.admit.overWatermark() {
+		resp.Reasons = append(resp.Reasons,
+			fmt.Sprintf("infer queue above high watermark (%d in flight)", resp.QueueDepth))
+	}
+	resp.Ready = len(resp.Reasons) == 0
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // handleVersion is GET /version: the build identity of the running daemon.

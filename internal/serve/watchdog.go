@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"pet/internal/telemetry"
+)
+
+// WatchdogConfig parameterizes the hung-job watchdog. The watchdog watches
+// jobs that emit progress heartbeats (pretrain episode/round completions);
+// a job silent past Deadline is flagged stalled, and one silent past twice
+// the deadline is cancelled with the watchdog's verdict as the cause. The
+// zero value disables it — run jobs have no episode counter to heartbeat
+// on, and a healthy deadline depends on the deployment's episode length.
+type WatchdogConfig struct {
+	// Deadline is the maximum heartbeat silence before a job is flagged
+	// (0 = watchdog disabled). Cancellation fires at twice this.
+	Deadline time.Duration
+	// Interval is the poll period (0 = Deadline/4, minimum 10ms).
+	Interval time.Duration
+}
+
+// watchdog polls the manager's running heartbeat-emitting jobs.
+type watchdog struct {
+	cfg   WatchdogConfig
+	mgr   *Manager
+	logf  func(format string, a ...any)
+	trips *telemetry.Counter
+	done  <-chan struct{}
+}
+
+func startWatchdog(cfg WatchdogConfig, mgr *Manager, tele *telemetry.Registry, logf func(string, ...any), done <-chan struct{}) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = cfg.Deadline / 4
+	}
+	if cfg.Interval < 10*time.Millisecond {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	w := &watchdog{cfg: cfg, mgr: mgr, logf: logf, trips: tele.Counter("job_watchdog_trips_total"), done: done}
+	go w.run()
+}
+
+func (w *watchdog) run() {
+	tick := time.NewTicker(w.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case now := <-tick.C:
+			w.sweep(now)
+		}
+	}
+}
+
+func (w *watchdog) sweep(now time.Time) {
+	w.mgr.mu.Lock()
+	jobs := make([]*job, 0, len(w.mgr.jobs))
+	for _, j := range w.mgr.jobs {
+		jobs = append(jobs, j)
+	}
+	w.mgr.mu.Unlock()
+	for _, j := range jobs {
+		beat := j.beat.Load()
+		if beat == 0 {
+			continue // no heartbeats: not the watchdog's to judge
+		}
+		j.mu.Lock()
+		running := j.status.State == StateRunning
+		stalled := j.status.Stalled
+		id := j.status.ID
+		j.mu.Unlock()
+		if !running {
+			continue
+		}
+		silence := now.Sub(time.Unix(0, beat))
+		switch {
+		case silence > 2*w.cfg.Deadline:
+			w.logf("job %s: watchdog: no progress for %v, cancelling", id, silence.Round(time.Millisecond))
+			j.cancel(fmt.Errorf("serve: watchdog: job hung (no progress heartbeat for %v)", silence.Round(time.Millisecond)))
+		case silence > w.cfg.Deadline && !stalled:
+			j.mu.Lock()
+			j.status.Stalled = true
+			j.mu.Unlock()
+			w.trips.Inc()
+			w.logf("job %s: watchdog: no progress for %v, flagged stalled", id, silence.Round(time.Millisecond))
+		case silence <= w.cfg.Deadline && stalled:
+			// Progress came back before the cancellation threshold: unflag.
+			j.mu.Lock()
+			j.status.Stalled = false
+			j.mu.Unlock()
+		}
+	}
+}

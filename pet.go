@@ -471,7 +471,36 @@ type (
 	SwapError = serve.SwapError
 	// PromotionResult is a successful promotion's summary.
 	PromotionResult = serve.PromotionResult
+	// JobJournal is the daemon's durable job journal: append-only JSONL,
+	// replayed at boot so jobs survive a daemon death (DaemonConfig.Journal).
+	JobJournal = serve.Journal
+	// JournalEntry is one job-journal line: a spec or a status transition.
+	JournalEntry = serve.JournalEntry
+	// ReplayedJob is one job reconstructed from the journal at boot.
+	ReplayedJob = serve.ReplayedJob
+	// AdmissionConfig bounds /infer admission, deadlines, shedding and the
+	// circuit breaker (DaemonConfig.Admission).
+	AdmissionConfig = serve.AdmissionConfig
+	// WatchdogConfig enables the hung-job watchdog (DaemonConfig.Watchdog).
+	WatchdogConfig = serve.WatchdogConfig
+	// ServeFaultPlan injects deterministic serve-layer faults for chaos
+	// tests (DaemonConfig.Faults), mirroring FleetFaultPlan for training.
+	ServeFaultPlan = serve.FaultPlan
+	// ReplicaPanicError reports an /infer batch whose compute panicked; the
+	// replica was recycled and the pool stayed whole (errors.As).
+	ReplicaPanicError = serve.ReplicaPanicError
 )
+
+// ErrInferOverloaded reports an /infer request shed because no replica came
+// free within its deadline (errors.Is).
+var ErrInferOverloaded = serve.ErrOverloaded
+
+// OpenJobJournal opens (creating if needed) the job journal at path and
+// replays its history; logf (nil = silent) receives one warning per skipped
+// entry. Hand the result to DaemonConfig.Journal.
+func OpenJobJournal(path string, logf func(format string, a ...any)) (*JobJournal, error) {
+	return serve.OpenJournal(path, logf, nil)
+}
 
 // NewDaemon assembles the control plane; serve it with Daemon.Start and
 // stop it with Daemon.Shutdown.
