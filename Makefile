@@ -1,7 +1,7 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve serve-smoke results test-chaos test-pool test-store test-serve-chaos ci
+.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve bench-shard serve-smoke results test-chaos test-pool test-store test-serve-chaos test-shard ci
 
 build:
 	$(GO) build ./...
@@ -95,10 +95,26 @@ serve-smoke:
 test-serve-chaos:
 	$(GO) test -race -count=2 -run 'ServeChaos|Journal|Watchdog|Admission|Breaker|Readyz|CancelIdempotent|KillRestart' ./internal/serve/ ./internal/jsonlog/ ./cmd/petd/
 
+# Shard tier: the sharded-engine determinism and partition suites — lane
+# comparator compatibility, cross-lane mailbox handoffs, barrier starvation,
+# full-stack byte-identity of shards=1 vs N (traces, Results, model
+# bundles), topology presets — under the race detector, twice, with the
+# worker-goroutine path forced on even on single-CPU hosts.
+test-shard:
+	$(GO) test -race -count=2 -run 'Shard|Partition|Preset|Comparator' ./internal/sim/ ./internal/netsim/ ./internal/topo/ ./internal/bench/
+
+# Sharded-forwarding throughput snapshot: paper-scale fabric (288 hosts) at
+# shards=1/2/NumCPU, merged into BENCH_shard.json. Numbers from a single-CPU
+# machine show the synchronization overhead, not a speedup — the JSON notes
+# the host's core count via benchjson's recorded benchmark names.
+bench-shard:
+	$(GO) test -run='^$$' -bench=BenchmarkShardedForwarding -benchmem ./internal/netsim/ \
+		| $(GO) run ./cmd/benchjson -label shard -out BENCH_shard.json
+
 # Regenerate the committed experiment results (EXPERIMENTS.md points here;
 # petbench_results.txt predates several schemes and the registry refactor,
 # so rebuild it rather than trusting the stale snapshot).
 results:
 	$(GO) run ./cmd/petbench -quick -exp all > petbench_results.txt
 
-ci: build build-examples vet lint test test-cli test-pool test-store serve-smoke race test-chaos test-serve-chaos
+ci: build build-examples vet lint test test-cli test-pool test-store serve-smoke race test-chaos test-serve-chaos test-shard

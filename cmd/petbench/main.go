@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,7 +26,11 @@ import (
 func main() {
 	var (
 		exps    = flag.String("exp", "all", "comma-separated experiments or 'all'")
-		topoF   = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		topoF   = flag.String("topo", "tiny", "fabric preset: "+strings.Join(pet.TopoPresets(), "|"))
+		spines  = flag.Int("spines", 0, "override the preset's spine count")
+		leaves  = flag.Int("leaves", 0, "override the preset's leaf count")
+		hosts   = flag.Int("hosts", 0, "override the preset's hosts per leaf")
+		shards  = flag.Int("shards", 1, "event-loop shards per simulation (0 = one per CPU, 1 = single loop)")
 		seed    = flag.Int64("seed", 1, "root random seed")
 		seeds   = flag.Int("seeds", 1, "independent seeds averaged per result cell")
 		loads   = flag.String("loads", "0.3,0.5,0.7", "comma-separated offered loads")
@@ -73,18 +78,32 @@ func main() {
 	r.Seed = *seed
 	r.Seeds = *seeds
 	r.Telemetry = tf.Registry
-	switch *topoF {
-	case "tiny":
-		r.Topo = pet.TinyScale()
-	case "small":
-		r.Topo = pet.SmallScale()
-	case "paper":
-		r.Topo = pet.PaperScale()
-		fmt.Fprintln(os.Stderr, "note: paper-scale fabric; expect long runtimes")
-	default:
-		fmt.Fprintf(os.Stderr, "petbench: unknown topo %q\n", *topoF)
+	topoCfg, err := pet.TopoPreset(*topoF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
 		os.Exit(2)
 	}
+	if *spines > 0 {
+		topoCfg.Spines = *spines
+	}
+	if *leaves > 0 {
+		topoCfg.Leaves = *leaves
+	}
+	if *hosts > 0 {
+		topoCfg.HostsPerLeaf = *hosts
+	}
+	if err := topoCfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
+		os.Exit(2)
+	}
+	r.Topo = topoCfg
+	if topoCfg.Leaves*topoCfg.HostsPerLeaf >= 100 {
+		fmt.Fprintln(os.Stderr, "note: large fabric; expect long runtimes")
+	}
+	if *shards == 0 {
+		*shards = runtime.NumCPU()
+	}
+	r.Shards = *shards
 	r.Loads = nil
 	for _, s := range strings.Split(*loads, ",") {
 		var l float64
@@ -147,10 +166,28 @@ func main() {
 		}
 	}
 
+	selected := make([]experiment, 0, len(catalog))
 	for _, e := range catalog {
-		if *exps != "all" && !want[e.name] {
-			continue
+		if *exps == "all" || want[e.name] {
+			selected = append(selected, e)
 		}
+	}
+
+	// Stream progress and an ETA to stderr while the sweep runs; table
+	// output stays on stdout so redirects and -csv keep working unchanged.
+	// The ETA extrapolates from completed experiments, so it only appears
+	// from the second one on and sharpens as the sweep advances.
+	sweepStart := time.Now()
+	r.Progress = func(msg string) {
+		fmt.Fprintf(os.Stderr, "  … %s (t+%v)\n", msg, time.Since(sweepStart).Round(time.Second))
+	}
+	for k, e := range selected {
+		eta := ""
+		if k > 0 {
+			remaining := time.Since(sweepStart) / time.Duration(k) * time.Duration(len(selected)-k)
+			eta = fmt.Sprintf(", ETA %v", remaining.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", k+1, len(selected), e.name, eta)
 		start := time.Now()
 		tables, err := e.run()
 		if err != nil {

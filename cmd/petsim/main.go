@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"pet"
@@ -30,7 +32,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		schemeF    = fs.String("scheme", "PET", "registered scheme name (see -list-schemes)")
 		transportF = fs.String("transport", "dcqcn", "registered end-host transport (see -list-transports)")
-		topoF      = fs.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		topoF      = fs.String("topo", "tiny", "fabric preset: "+strings.Join(pet.TopoPresets(), "|"))
+		spines     = fs.Int("spines", 0, "override the preset's spine count")
+		leaves     = fs.Int("leaves", 0, "override the preset's leaf count")
+		hosts      = fs.Int("hosts", 0, "override the preset's hosts per leaf")
+		shards     = fs.Int("shards", 1, "event-loop shards (0 = one per CPU, 1 = single loop)")
 		wlF        = fs.String("workload", "websearch", "websearch | datamining")
 		load       = fs.Float64("load", 0.6, "offered load fraction (0,1]")
 		incast     = fs.Float64("incast", 0.2, "fraction of load delivered as incast groups")
@@ -83,16 +89,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Warmup:         pet.Time(warmup.Nanoseconds()) * pet.Nanosecond,
 		Duration:       pet.Time(dur.Nanoseconds()) * pet.Nanosecond,
 	}
-	switch *topoF {
-	case "tiny":
-		s.Topo = pet.TinyScale()
-	case "small":
-		s.Topo = pet.SmallScale()
-	case "paper":
-		s.Topo = pet.PaperScale()
-	default:
-		return fatalf("unknown topo %q", *topoF)
+	topoCfg, err := pet.TopoPreset(*topoF)
+	if err != nil {
+		return fatalf("%v", err)
 	}
+	if *spines > 0 {
+		topoCfg.Spines = *spines
+	}
+	if *leaves > 0 {
+		topoCfg.Leaves = *leaves
+	}
+	if *hosts > 0 {
+		topoCfg.HostsPerLeaf = *hosts
+	}
+	if err := topoCfg.Validate(); err != nil {
+		return fatalf("%v", err)
+	}
+	s.Topo = topoCfg
+	if *shards == 0 {
+		*shards = runtime.NumCPU()
+	}
+	s.Shards = *shards
 	switch *wlF {
 	case "websearch":
 		s.Workload = pet.WebSearch()

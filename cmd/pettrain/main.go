@@ -50,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,7 +59,8 @@ import (
 
 func main() {
 	var (
-		topoF     = flag.String("topo", "tiny", "fabric scale: tiny|small|paper")
+		topoF     = flag.String("topo", "tiny", "fabric preset: "+strings.Join(pet.TopoPresets(), "|"))
+		shards    = flag.Int("shards", 1, "event-loop shards per episode engine (0 = one per CPU, 1 = single loop)")
 		wlF       = flag.String("workload", "websearch", "websearch | datamining")
 		load      = flag.Float64("load", 0.6, "offered training load")
 		dur       = flag.Duration("duration", 100*time.Millisecond, "simulated training time per episode")
@@ -102,17 +104,16 @@ func main() {
 	}
 
 	s := pet.Scenario{Seed: *seed, Load: *load, IncastFraction: 0.2, IncastFanIn: 3}
-	switch *topoF {
-	case "tiny":
-		s.Topo = pet.TinyScale()
-	case "small":
-		s.Topo = pet.SmallScale()
-	case "paper":
-		s.Topo = pet.PaperScale()
-	default:
-		fmt.Fprintf(os.Stderr, "pettrain: unknown topo %q\n", *topoF)
+	topoCfg, err := pet.TopoPreset(*topoF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
 		os.Exit(2)
 	}
+	s.Topo = topoCfg
+	if *shards == 0 {
+		*shards = runtime.NumCPU()
+	}
+	s.Shards = *shards
 	switch *wlF {
 	case "websearch":
 		s.Workload = pet.WebSearch()

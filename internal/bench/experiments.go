@@ -35,8 +35,26 @@ type Runner struct {
 	// can be watched live over HTTP. Observation-only, like everywhere.
 	Telemetry *telemetry.Registry
 
+	// Shards is threaded into every scenario (see Scenario.Shards): <=1
+	// keeps the classic single event loop, >=2 runs each simulation on a
+	// sharded engine. Results are identical either way; only wall-clock
+	// changes.
+	Shards int
+
+	// Progress, when non-nil, receives a line for each simulation the
+	// runner is about to execute — cache misses only, so the stream tracks
+	// real work. CLIs point it at stderr to narrate long sweeps.
+	Progress func(msg string)
+
 	cache     map[string]Result
 	petModels map[string][]byte
+}
+
+// progress reports one unit of upcoming work to the Progress hook, if any.
+func (r *Runner) progress(format string, a ...any) {
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf(format, a...))
+	}
 }
 
 // NewRunner returns a runner with laptop-scale defaults.
@@ -72,6 +90,7 @@ func (r *Runner) scenario(scheme Scheme, wl *workload.CDF, load float64) (Scenar
 		Warmup:         r.Warmup,
 		Duration:       r.Duration,
 		Telemetry:      r.Telemetry,
+		Shards:         r.Shards,
 	}
 	switch scheme {
 	case SchemePET, SchemePETAblated:
@@ -98,6 +117,7 @@ func (r *Runner) pretrained(scheme Scheme, wl *workload.CDF) ([]byte, error) {
 		return m, nil
 	}
 	b1, b2 := DefaultBetas(wl)
+	r.progress("pretrain %s on %s (%v)", scheme, wl.Name(), r.TrainTime)
 	m, err := PretrainPET(Scenario{
 		Topo:           r.Topo,
 		Seed:           r.Seed + 1000,
@@ -109,6 +129,7 @@ func (r *Runner) pretrained(scheme Scheme, wl *workload.CDF) ([]byte, error) {
 		Beta1:          b1,
 		Beta2:          b2,
 		Telemetry:      r.Telemetry,
+		Shards:         r.Shards,
 	}, r.TrainTime)
 	if err != nil {
 		return nil, err
@@ -135,6 +156,7 @@ func (r *Runner) run(scheme Scheme, wl *workload.CDF, load float64) (Result, err
 			return Result{}, err
 		}
 		s.Seed = r.Seed + int64(i)*7919
+		r.progress("run %s seed %d/%d", key, i+1, n)
 		res, err := Run(s)
 		if err != nil {
 			return Result{}, err

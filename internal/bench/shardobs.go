@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"pet/internal/telemetry"
+)
+
+// shardObserver bridges the sharded engine's per-epoch execution stats into
+// a telemetry registry. Observation-only by the ShardObserver contract: the
+// engine calls ObserveEpoch after the lanes have joined, so nothing here can
+// perturb event order, and a run with telemetry attached produces the same
+// results and model bundles as one without.
+//
+// Exported series:
+//
+//	sim_shard_events_total{shard="i"}    events executed by lane i
+//	sim_shard_barrier_wait_seconds      per-lane idle time each epoch: the
+//	                                    gap between a lane's busy time and
+//	                                    the slowest lane's (the time it
+//	                                    spent parked at the barrier)
+//	sim_shard_imbalance_ratio           busiest/least-busy lane ratio of
+//	                                    the last epoch with all lanes busy
+type shardObserver struct {
+	events    []*telemetry.Counter
+	wait      *telemetry.Histogram
+	imbalance *telemetry.Gauge
+}
+
+func newShardObserver(reg *telemetry.Registry, lanes int) *shardObserver {
+	o := &shardObserver{
+		// 1µs..~65ms: epoch wall-clock waits on fabrics worth sharding.
+		wait:      reg.Histogram("sim_shard_barrier_wait_seconds", telemetry.ExpBuckets(1e-6, 2, 17)),
+		imbalance: reg.Gauge("sim_shard_imbalance_ratio"),
+	}
+	for i := 0; i < lanes; i++ {
+		o.events = append(o.events, reg.Counter(fmt.Sprintf("sim_shard_events_total{shard=%q}", fmt.Sprint(i))))
+	}
+	return o
+}
+
+func (o *shardObserver) ObserveEpoch(busyNs []int64, fired []uint64) {
+	var maxBusy, minBusy int64
+	for i, b := range busyNs {
+		o.events[i].Add(fired[i])
+		if i == 0 || b > maxBusy {
+			maxBusy = b
+		}
+		if i == 0 || b < minBusy {
+			minBusy = b
+		}
+	}
+	for _, b := range busyNs {
+		o.wait.Observe(float64(maxBusy-b) / 1e9)
+	}
+	if minBusy > 0 {
+		o.imbalance.Set(float64(maxBusy) / float64(minBusy))
+	}
+}

@@ -1,0 +1,268 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"pet/internal/sim"
+	"pet/internal/topo"
+)
+
+// trafficSource is a self-rescheduling packet generator that runs entirely
+// in its host's lane: each firing draws a packet from the lane pool, sends
+// it to a pseudorandom peer, and reschedules itself after a jittered gap.
+type trafficSource struct {
+	net     *Network
+	eng     *sim.Engine
+	host    topo.NodeID
+	peers   []topo.NodeID
+	state   uint64 // xorshift64
+	seq     int64
+	horizon sim.Time // 0 = run forever (benchmarks)
+	fireFn  func(any)
+}
+
+func (s *trafficSource) next() uint64 {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return s.state
+}
+
+func (s *trafficSource) fire(any) {
+	if s.horizon != 0 && s.eng.Now() >= s.horizon {
+		return
+	}
+	r := s.next()
+	dst := s.peers[r%uint64(len(s.peers))]
+	if dst == s.host {
+		dst = s.peers[(r+1)%uint64(len(s.peers))]
+	}
+	pkt := s.net.NewPacketAt(s.host)
+	pkt.Flow, pkt.Src, pkt.Dst, pkt.Kind = FlowID(uint64(s.host)<<16|uint64(s.seq%8)), s.host, dst, Data
+	pkt.Size, pkt.Seq, pkt.ECT = 1000, s.seq, true
+	s.seq++
+	s.net.SendFromHost(s.host, pkt)
+	// Jitter at both ns and ps granularity so same-instant events on
+	// different lanes — the one comparator tie class whose order differs
+	// between a global and a sharded schedule — do not occur.
+	gap := 800*sim.Nanosecond + sim.Time(s.next()%1600)*sim.Nanosecond + sim.Time(s.next()%1000)
+	s.eng.AfterArg(gap, s.fireFn, nil)
+}
+
+func startSource(net *Network, host topo.NodeID, peers []topo.NodeID, horizon sim.Time) {
+	s := &trafficSource{
+		net:     net,
+		eng:     net.laneEngine(host),
+		host:    host,
+		peers:   peers,
+		state:   uint64(host)*0x9e3779b97f4a7c15 + 1,
+		horizon: horizon,
+	}
+	s.fireFn = s.fire
+	// Stagger starts by host so no two sources share an instant.
+	s.eng.AfterArg(sim.Time(host)*31*sim.Nanosecond+1, s.fireFn, nil)
+}
+
+// hashSink folds every delivery into an order-sensitive digest. Deliver runs
+// in the owning host's lane, so each sink is single-lane state.
+type hashSink struct {
+	eng *sim.Engine
+	h   uint64
+	n   int
+}
+
+func (s *hashSink) Deliver(p *Packet) {
+	mix := func(v uint64) {
+		s.h ^= v
+		s.h *= 0x100000001b3
+	}
+	mix(uint64(s.eng.Now()))
+	mix(uint64(p.Src))
+	mix(uint64(p.Flow))
+	mix(uint64(p.Seq))
+	mix(uint64(p.Size))
+	if p.CE {
+		mix(1)
+	}
+	s.n++
+}
+
+// runShardTraffic drives identical jittered all-to-all traffic over the
+// small fabric on a plain engine (shards<=1) or a by-leaf sharded engine,
+// and returns the per-host delivery digests.
+func runShardTraffic(t *testing.T, shards int, horizon sim.Time) (map[topo.NodeID]uint64, int) {
+	t.Helper()
+	ls := topo.BuildLeafSpine(topo.SmallScale())
+	cfg := Config{DefaultECN: ECNConfig{Enabled: true, KminBytes: 20_000, KmaxBytes: 80_000, Pmax: 0.1}}
+	var net *Network
+	var run func(sim.Time)
+	if shards <= 1 {
+		eng := sim.NewEngine()
+		net = New(eng, ls.Graph, 7, cfg)
+		run = eng.RunUntil
+	} else {
+		part := topo.PartitionByLeaf(ls, shards)
+		se := sim.NewSharded(part.Lanes, part.CutDelay)
+		se.SetBarrierEvery(100 * sim.Microsecond)
+		se.SetParallel(true) // force the concurrent path even on one CPU so -race sees it
+		net = NewSharded(se, part, ls.Graph, 7, cfg)
+		run = se.RunUntil
+	}
+	sinks := make(map[topo.NodeID]*hashSink, len(ls.Hosts))
+	for _, h := range ls.Hosts {
+		sink := &hashSink{eng: net.laneEngine(h)}
+		sinks[h] = sink
+		net.RegisterEndpoint(h, sink)
+	}
+	for _, h := range ls.Hosts {
+		startSource(net, h, ls.Hosts, horizon)
+	}
+	run(horizon + 1*sim.Millisecond) // drain in-flight packets past the last send
+	digests := make(map[topo.NodeID]uint64, len(sinks))
+	total := 0
+	for h, s := range sinks {
+		digests[h] = s.h
+		total += s.n
+	}
+	return digests, total
+}
+
+// The tentpole's contract at the netsim layer: the same traffic program on
+// the plain engine and on 2- and 4-lane by-leaf partitions produces
+// byte-identical per-host delivery streams (times, contents, ECN marks).
+func TestShardedForwardingDeterminism(t *testing.T) {
+	const horizon = 2 * sim.Millisecond
+	want, wantN := runShardTraffic(t, 1, horizon)
+	if wantN < 5000 {
+		t.Fatalf("baseline delivered only %d packets; traffic too thin to be a meaningful check", wantN)
+	}
+	for _, shards := range []int{2, 4} {
+		got, gotN := runShardTraffic(t, shards, horizon)
+		if gotN != wantN {
+			t.Fatalf("shards=%d delivered %d packets, baseline %d", shards, gotN, wantN)
+		}
+		for h, d := range want {
+			if got[h] != d {
+				t.Fatalf("shards=%d: host %d delivery stream diverged from baseline", shards, h)
+			}
+		}
+	}
+}
+
+// A cross-leaf packet must hand off between lanes (host+leaf lane → spine
+// lane → destination leaf lane) and still arrive exactly when the unsharded
+// network would deliver it.
+func TestShardedCrossLeafLatencyMatchesPlain(t *testing.T) {
+	sendOne := func(shards int) (sim.Time, Packet) {
+		ls := topo.BuildLeafSpine(topo.TinyScale())
+		var net *Network
+		var run func(sim.Time)
+		if shards <= 1 {
+			eng := sim.NewEngine()
+			net = New(eng, ls.Graph, 1, Config{})
+			run = eng.RunUntil
+		} else {
+			part := topo.PartitionByLeaf(ls, shards)
+			se := sim.NewSharded(part.Lanes, part.CutDelay)
+			se.SetParallel(true)
+			net = NewSharded(se, part, ls.Graph, 1, Config{})
+			run = se.RunUntil
+		}
+		src, dst := ls.Hosts[0], ls.Hosts[3] // different leaves: transits a spine
+		var at sim.Time
+		var got Packet
+		sink := &hashSink{eng: net.laneEngine(dst)}
+		_ = sink
+		net.RegisterEndpoint(dst, endpointFunc(func(p *Packet) {
+			at = net.laneEngine(dst).Now()
+			got = *p
+		}))
+		pkt := net.NewPacket()
+		pkt.Flow, pkt.Src, pkt.Dst, pkt.Kind, pkt.Size = 9, src, dst, Data, 1000
+		net.SendFromHost(src, pkt)
+		run(1 * sim.Millisecond)
+		return at, got
+	}
+	wantAt, wantPkt := sendOne(1)
+	if wantAt == 0 {
+		t.Fatal("baseline packet never delivered")
+	}
+	gotAt, gotPkt := sendOne(2)
+	if gotAt != wantAt || gotPkt != wantPkt {
+		t.Fatalf("sharded delivery (t=%v, %+v) != plain (t=%v, %+v)", gotAt, gotPkt, wantAt, wantPkt)
+	}
+}
+
+// Construction-time guards: a partition whose cut delay is below the
+// engine's lookahead, or PFC under sharding, must refuse to build.
+func TestNewShardedRejectsUnsafeConfigs(t *testing.T) {
+	ls := topo.BuildLeafSpine(topo.TinyScale())
+	part := topo.PartitionByLeaf(ls, 2)
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("lookahead above cut delay", func() {
+		se := sim.NewSharded(part.Lanes, part.CutDelay*2)
+		NewSharded(se, part, ls.Graph, 1, Config{})
+	})
+	expectPanic("PFC under sharding", func() {
+		se := sim.NewSharded(part.Lanes, part.CutDelay)
+		NewSharded(se, part, ls.Graph, 1, Config{PFC: PFCConfig{Enabled: true}})
+	})
+}
+
+// BenchmarkShardedForwarding measures raw forwarding throughput on the
+// paper-scale fabric (288 hosts, 12 leaves, 6 spines) at several lane
+// counts. Each b.N iteration advances the clock 100µs under sustained
+// all-to-all load; ev/op reports events executed per iteration. On a
+// single-CPU host the parallel path still runs but cannot beat shards=1
+// (see DESIGN.md "Sharded engine").
+func BenchmarkShardedForwarding(b *testing.B) {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	for _, shards := range counts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			ls := topo.BuildLeafSpine(topo.PaperScale())
+			var net *Network
+			var run func(sim.Time)
+			var fired func() uint64
+			if shards <= 1 {
+				eng := sim.NewEngine()
+				net = New(eng, ls.Graph, 7, Config{})
+				run = eng.RunUntil
+				fired = eng.Fired
+			} else {
+				part := topo.PartitionByLeaf(ls, shards)
+				se := sim.NewSharded(part.Lanes, part.CutDelay)
+				se.SetBarrierEvery(100 * sim.Microsecond)
+				se.SetParallel(true)
+				net = NewSharded(se, part, ls.Graph, 7, Config{})
+				run = se.RunUntil
+				fired = se.Fired
+			}
+			for _, h := range ls.Hosts {
+				startSource(net, h, ls.Hosts, 0)
+			}
+			const quantum = 100 * sim.Microsecond
+			horizon := quantum
+			run(horizon) // warm pools, freelists, rings
+			start := fired()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				horizon += quantum
+				run(horizon)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(fired()-start)/float64(b.N), "ev/op")
+		})
+	}
+}

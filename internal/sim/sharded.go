@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ShardedEngine runs N lane engines under conservative-lookahead
+// synchronization (classic null-message-free PDES with a global epoch
+// barrier). Virtual time advances in epochs of at most `lookahead`; within
+// an epoch every lane executes its local events independently — in parallel
+// when more than one OS core is available — because no cross-lane influence
+// can arrive sooner than the minimum cross-partition link delay. Cross-lane
+// handoffs go through per-sender mailboxes (Send) and are drained into the
+// destination lane's heap at the epoch boundary, always before the
+// destination reaches the handoff's timestamp.
+//
+// Determinism: each lane is a sequential Engine, mailbox drains happen only
+// while every lane is parked, and events are ordered by the global
+// (at, birthAt, birthLane, seq) comparator, so a run's event order — and
+// therefore its output — depends only on the model and the partition, never
+// on goroutine scheduling. Whether epochs run serially or in parallel makes
+// no observable difference.
+//
+// Barriers: timestamps at which one lane's events may touch another lane's
+// state (control-plane ticks reading switch queues, link-failure events
+// rewriting routing) must be declared, via a periodic cadence
+// (SetBarrierEvery) and/or one-off times (AddBarrier). At a barrier every
+// lane is parked at exactly that timestamp and the coordinator executes all
+// lanes' events at that instant serially, merged in comparator order — a
+// deterministic stop-the-world window in which cross-lane reads and writes
+// are safe. RunUntil horizons are implicit barriers.
+type ShardedEngine struct {
+	lanes     []*Engine
+	lookahead Time
+	barrier   Time   // periodic global-barrier cadence; 0 = none
+	extras    []Time // sorted pending one-off barrier times
+	now       Time
+
+	outbox   [][]laneMsg // per sending lane; owned by that lane's executor
+	parallel bool
+
+	obs       ShardObserver
+	busyNs    []int64  // per-lane wall time of the last epoch (observer only)
+	lastFired []uint64 // per-lane cumulative fired at last observation
+	firedBuf  []uint64 // scratch delta buffer handed to the observer
+
+	wake []chan Time // per-lane epoch dispatch; nil until workers start
+	wg   sync.WaitGroup
+}
+
+// laneMsg is one cross-lane handoff waiting in a sender's outbox.
+type laneMsg struct {
+	at        Time
+	birthAt   Time
+	birthLane int32
+	seq       uint64
+	afn       func(any)
+	arg       any
+	to        int32
+}
+
+// ShardObserver receives per-epoch scheduling statistics: busyNs[i] is the
+// wall-clock nanoseconds lane i spent executing the epoch and fired[i] how
+// many events it ran. Both slices are reused between calls — copy to
+// retain. Observation-only by contract: an observer must not touch
+// simulation state.
+type ShardObserver interface {
+	ObserveEpoch(busyNs []int64, fired []uint64)
+}
+
+// NewSharded returns a sharded engine with n lanes and the given
+// conservative lookahead, which must be positive (it is the minimum
+// cross-partition propagation delay; a zero lookahead cannot advance time).
+func NewSharded(n int, lookahead Time) *ShardedEngine {
+	if n < 1 {
+		panic("sim: sharded engine needs at least one lane")
+	}
+	if lookahead <= 0 {
+		panic("sim: sharded lookahead must be positive")
+	}
+	s := &ShardedEngine{
+		lanes:     make([]*Engine, n),
+		lookahead: lookahead,
+		outbox:    make([][]laneMsg, n),
+		parallel:  runtime.GOMAXPROCS(0) > 1 && n > 1,
+		busyNs:    make([]int64, n),
+		lastFired: make([]uint64, n),
+		firedBuf:  make([]uint64, n),
+	}
+	for i := range s.lanes {
+		s.lanes[i] = &Engine{lane: int32(i)}
+	}
+	return s
+}
+
+// Lanes returns the number of lanes.
+func (s *ShardedEngine) Lanes() int { return len(s.lanes) }
+
+// Lane returns lane i's engine. Model code holding a lane engine schedules
+// on it exactly as on a standalone Engine; events it schedules run on that
+// lane.
+func (s *ShardedEngine) Lane(i int) *Engine { return s.lanes[i] }
+
+// Now returns the global safe time: every lane has executed all its events
+// strictly before it.
+func (s *ShardedEngine) Now() Time { return s.now }
+
+// Lookahead returns the conservative lookahead the engine synchronizes at.
+func (s *ShardedEngine) Lookahead() Time { return s.lookahead }
+
+// Fired returns the total events executed across all lanes.
+func (s *ShardedEngine) Fired() uint64 {
+	var total uint64
+	for _, ln := range s.lanes {
+		total += ln.Fired()
+	}
+	return total
+}
+
+// SetBarrierEvery installs a periodic global barrier at every multiple of
+// d. Any cadence at which one lane's events read or write another lane's
+// state must divide into d's multiples.
+func (s *ShardedEngine) SetBarrierEvery(d Time) {
+	if d < 0 {
+		panic("sim: negative barrier cadence")
+	}
+	s.barrier = d
+}
+
+// AddBarrier declares a one-off global barrier at absolute time t (e.g. a
+// scripted link-failure event that rewrites shared routing state). Times in
+// the past are ignored; duplicates are deduped.
+func (s *ShardedEngine) AddBarrier(t Time) {
+	if t <= s.now {
+		return
+	}
+	for i, e := range s.extras {
+		if e == t {
+			return
+		}
+		if e > t {
+			s.extras = append(s.extras, 0)
+			copy(s.extras[i+1:], s.extras[i:])
+			s.extras[i] = t
+			return
+		}
+	}
+	s.extras = append(s.extras, t)
+}
+
+// SetParallel forces epochs onto worker goroutines (true) or the
+// coordinator goroutine (false). The default is parallel exactly when more
+// than one core is available. Execution order, and therefore output, is
+// identical either way; tests force true to exercise the concurrent path
+// under the race detector on single-core machines.
+func (s *ShardedEngine) SetParallel(p bool) { s.parallel = p && len(s.lanes) > 1 }
+
+// SetObserver installs a per-epoch statistics observer (nil to remove).
+// Enabling one adds two clock reads per lane per epoch and nothing else;
+// it cannot perturb event order.
+func (s *ShardedEngine) SetObserver(o ShardObserver) { s.obs = o }
+
+// Send enqueues a cross-lane handoff: fn(arg) runs on lane `to` at the
+// sending lane's current time plus delay. It must be called from an event
+// executing on lane `from` (or while all lanes are parked), and delay must
+// be at least the lookahead — that is the conservative guarantee that the
+// destination has not yet executed past the handoff time. Handoffs are
+// fire-and-forget: there is no cross-lane Handle and no cancellation.
+func (s *ShardedEngine) Send(from, to int32, delay Time, fn func(any), arg any) {
+	if delay < s.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard delay %v below lookahead %v", delay, s.lookahead))
+	}
+	src := s.lanes[from]
+	s.outbox[from] = append(s.outbox[from], laneMsg{
+		at:        src.now + delay,
+		birthAt:   src.now,
+		birthLane: from,
+		seq:       src.seq,
+		afn:       fn,
+		arg:       arg,
+		to:        to,
+	})
+	src.seq++
+}
+
+// drain moves every outbox entry into its destination lane's heap. Called
+// only while all lanes are parked; injection order is irrelevant because
+// the heap orders by the full comparator key.
+func (s *ShardedEngine) drain() {
+	for from := range s.outbox {
+		box := s.outbox[from]
+		if len(box) == 0 {
+			continue
+		}
+		for i := range box {
+			m := &box[i]
+			s.lanes[m.to].inject(m.at, m.birthAt, m.birthLane, m.seq, m.afn, m.arg)
+			m.afn, m.arg = nil, nil // do not pin across reuse
+		}
+		s.outbox[from] = box[:0]
+	}
+}
+
+// nextBarrier returns the earliest global barrier after s.now, capped at t.
+func (s *ShardedEngine) nextBarrier(t Time) Time {
+	g := t
+	if s.barrier > 0 {
+		if b := (s.now/s.barrier + 1) * s.barrier; b < g {
+			g = b
+		}
+	}
+	if len(s.extras) > 0 && s.extras[0] < g {
+		g = s.extras[0]
+	}
+	return g
+}
+
+// RunUntil advances every lane to exactly t, executing all events with
+// timestamp <= t — the sharded counterpart of Engine.RunUntil, with t
+// acting as a final barrier.
+func (s *ShardedEngine) RunUntil(t Time) {
+	if t <= s.now {
+		return
+	}
+	if s.parallel && s.wake == nil {
+		s.startWorkers()
+		defer s.stopWorkers()
+	}
+	for s.now < t {
+		g := s.nextBarrier(t)
+		for cur := s.now; cur < g; {
+			h := cur + s.lookahead
+			if h > g {
+				h = g
+			}
+			s.runEpoch(h)
+			s.drain()
+			cur = h
+		}
+		s.runBarrier(g)
+		s.drain()
+		s.now = g
+		for len(s.extras) > 0 && s.extras[0] <= g {
+			s.extras = s.extras[1:]
+		}
+	}
+}
+
+// runEpoch executes every lane's events strictly before h and advances all
+// lane clocks to h. Lanes with nothing to do before h are advanced inline —
+// an empty lane never wakes a worker and never delays the others.
+func (s *ShardedEngine) runEpoch(h Time) {
+	observe := s.obs != nil
+	if !s.parallel {
+		for i, ln := range s.lanes {
+			if observe {
+				start := time.Now()
+				ln.runBefore(h)
+				s.busyNs[i] = int64(time.Since(start))
+			} else {
+				ln.runBefore(h)
+			}
+		}
+		s.observeEpoch()
+		return
+	}
+	dispatched := 0
+	for i, ln := range s.lanes {
+		if ev := ln.peek(); ev != nil && ev.at < h {
+			s.wg.Add(1)
+			s.wake[i] <- h
+			dispatched++
+		} else {
+			ln.runBefore(h) // just advances the clock
+			s.busyNs[i] = 0
+		}
+	}
+	if dispatched > 0 {
+		s.wg.Wait()
+	}
+	s.observeEpoch()
+}
+
+// runBarrier executes all lanes' events at exactly g, serially on the
+// coordinator goroutine, merged in global comparator order. Every lane is
+// parked at g, so these events may freely read and write any lane's state;
+// cross-lane sends they make carry timestamps beyond the next epoch.
+func (s *ShardedEngine) runBarrier(g Time) {
+	for {
+		best := -1
+		var bestEv *event
+		for i, ln := range s.lanes {
+			ev := ln.peek()
+			if ev == nil || ev.at > g {
+				continue
+			}
+			if best < 0 || eventLess(ev, bestEv) {
+				best, bestEv = i, ev
+			}
+		}
+		if best < 0 {
+			return
+		}
+		s.lanes[best].Step()
+	}
+}
+
+// startWorkers spawns one goroutine per lane for the duration of a RunUntil
+// call. Worker i owns lane i (and outbox i) while an epoch horizon is in
+// flight; the WaitGroup join transfers ownership back to the coordinator.
+func (s *ShardedEngine) startWorkers() {
+	s.wake = make([]chan Time, len(s.lanes))
+	for i := range s.lanes {
+		ch := make(chan Time, 1)
+		s.wake[i] = ch
+		go func(i int, ch chan Time) {
+			for h := range ch {
+				if s.obs != nil {
+					start := time.Now()
+					s.lanes[i].runBefore(h)
+					s.busyNs[i] = int64(time.Since(start))
+				} else {
+					s.lanes[i].runBefore(h)
+				}
+				s.wg.Done()
+			}
+		}(i, ch)
+	}
+}
+
+func (s *ShardedEngine) stopWorkers() {
+	for _, ch := range s.wake {
+		close(ch)
+	}
+	s.wake = nil
+}
+
+// observeEpoch reports per-lane busy time and fired deltas after an epoch.
+func (s *ShardedEngine) observeEpoch() {
+	if s.obs == nil {
+		return
+	}
+	for i, ln := range s.lanes {
+		f := ln.Fired()
+		s.firedBuf[i] = f - s.lastFired[i]
+		s.lastFired[i] = f
+	}
+	s.obs.ObserveEpoch(s.busyNs, s.firedBuf)
+}

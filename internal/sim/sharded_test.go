@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// logged is one executed event in a test log: lane, fire time, tag.
+type logged struct {
+	lane int
+	at   Time
+	tag  int
+}
+
+// TestShardedSingleLaneMatchesEngine runs the same event program on a plain
+// Engine and on a one-lane ShardedEngine and requires identical execution
+// logs: with one lane, epochs and barriers must be pure bookkeeping.
+func TestShardedSingleLaneMatchesEngine(t *testing.T) {
+	program := func(eng *Engine, log *[]logged) {
+		var tick func(any)
+		n := 0
+		tick = func(any) {
+			*log = append(*log, logged{0, eng.Now(), n})
+			n++
+			if n < 50 {
+				eng.AfterArg(Time(137*n+1)*Nanosecond, tick, nil)
+			}
+		}
+		eng.AtArg(0, tick, nil)
+		for i := 0; i < 10; i++ {
+			i := i
+			eng.At(Time(i)*Microsecond, func() {
+				*log = append(*log, logged{0, eng.Now(), 1000 + i})
+			})
+		}
+	}
+
+	var want []logged
+	ref := NewEngine()
+	program(ref, &want)
+	ref.RunUntil(20 * Microsecond)
+
+	var got []logged
+	sh := NewSharded(1, 1*Microsecond)
+	sh.SetBarrierEvery(5 * Microsecond)
+	program(sh.Lane(0), &got)
+	sh.RunUntil(20 * Microsecond)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("one-lane sharded log diverges from plain engine:\n got %v\nwant %v", got, want)
+	}
+	if sh.Now() != 20*Microsecond || sh.Lane(0).Now() != 20*Microsecond {
+		t.Fatalf("clocks not advanced to horizon: sharded %v lane %v", sh.Now(), sh.Lane(0).Now())
+	}
+}
+
+// TestShardedCrossLaneHandoff bounces an event between two lanes through
+// Send and checks both the delivery times and the receiving lane's clock.
+func TestShardedCrossLaneHandoff(t *testing.T) {
+	const delay = 2 * Microsecond
+	sh := NewSharded(2, 1*Microsecond)
+	var hits []logged
+	var hop func(any)
+	hop = func(arg any) {
+		lane := arg.(int)
+		eng := sh.Lane(lane)
+		hits = append(hits, logged{lane, eng.Now(), len(hits)})
+		if len(hits) < 8 {
+			next := 1 - lane
+			sh.Send(int32(lane), int32(next), delay, hop, next)
+		}
+	}
+	sh.Lane(0).AtArg(1*Microsecond, hop, 0)
+	sh.RunUntil(30 * Microsecond)
+
+	if len(hits) != 8 {
+		t.Fatalf("got %d hops, want 8", len(hits))
+	}
+	for i, h := range hits {
+		wantLane := i % 2
+		wantAt := 1*Microsecond + Time(i)*delay
+		if h.lane != wantLane || h.at != wantAt {
+			t.Fatalf("hop %d ran on lane %d at %v, want lane %d at %v", i, h.lane, h.at, wantLane, wantAt)
+		}
+	}
+}
+
+// shardProgram loads deterministic pseudorandom self-rescheduling work plus
+// cross-lane sends onto every lane, logging into per-lane slices.
+func shardProgram(sh *ShardedEngine, logs [][]logged) {
+	lanes := sh.Lanes()
+	for lane := 0; lane < lanes; lane++ {
+		lane := lane
+		eng := sh.Lane(lane)
+		state := uint64(lane*2654435761 + 12345)
+		next := func() uint64 { // xorshift: deterministic, lane-seeded
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state
+		}
+		n := 0
+		var work func(any)
+		work = func(any) {
+			logs[lane] = append(logs[lane], logged{lane, eng.Now(), n})
+			n++
+			if n >= 400 {
+				return
+			}
+			gap := Time(next()%3000+1) * Nanosecond
+			eng.AfterArg(gap, work, nil)
+			if next()%4 == 0 {
+				to := int32(next() % uint64(lanes))
+				delay := 1*Microsecond + Time(next()%2000)*Nanosecond
+				sh.Send(int32(lane), to, delay, func(any) {
+					logs[to] = append(logs[to], logged{int(to), sh.Lane(int(to)).Now(), -1})
+				}, nil)
+			}
+		}
+		eng.AtArg(Time(lane)*Nanosecond, work, nil)
+	}
+}
+
+// TestShardedDeterministicParallel runs the same multi-lane program three
+// times — serial, parallel, parallel again — and requires identical
+// per-lane logs: event order must not depend on goroutine scheduling.
+func TestShardedDeterministicParallel(t *testing.T) {
+	run := func(parallel bool) [][]logged {
+		sh := NewSharded(3, 1*Microsecond)
+		sh.SetParallel(parallel)
+		sh.SetBarrierEvery(12500 * Nanosecond)
+		logs := make([][]logged, 3)
+		shardProgram(sh, logs)
+		// Chunked horizons mirror bench's cancellation checks; they must
+		// not perturb the order either.
+		for _, h := range []Time{333 * Microsecond, 700 * Microsecond, 1500 * Microsecond} {
+			sh.RunUntil(h)
+		}
+		return logs
+	}
+	serial := run(false)
+	par1 := run(true)
+	par2 := run(true)
+	if !reflect.DeepEqual(serial, par1) || !reflect.DeepEqual(par1, par2) {
+		t.Fatal("sharded execution order depends on serial/parallel mode or goroutine scheduling")
+	}
+	total := 0
+	for _, l := range serial {
+		total += len(l)
+	}
+	if total < 1200 {
+		t.Fatalf("program under-ran: %d events logged", total)
+	}
+}
+
+// TestShardedBarrierStarvation leaves two lanes completely empty: the busy
+// lane must reach the horizon without the empty ones stalling epochs (the
+// test would time out if an empty lane blocked the barrier).
+func TestShardedBarrierStarvation(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		sh := NewSharded(3, 1*Microsecond)
+		sh.SetParallel(parallel)
+		sh.SetBarrierEvery(10 * Microsecond)
+		fired := 0
+		var tick func(any)
+		tick = func(any) {
+			fired++
+			if fired < 1000 {
+				sh.Lane(0).AfterArg(500*Nanosecond, tick, nil)
+			}
+		}
+		sh.Lane(0).AtArg(0, tick, nil)
+		sh.RunUntil(2 * Millisecond)
+		if fired != 1000 {
+			t.Fatalf("parallel=%v: busy lane fired %d of 1000 events", parallel, fired)
+		}
+		for i := 0; i < sh.Lanes(); i++ {
+			if got := sh.Lane(i).Now(); got != 2*Millisecond {
+				t.Fatalf("parallel=%v: lane %d clock %v, want %v", parallel, i, got, 2*Millisecond)
+			}
+		}
+	}
+}
+
+// TestShardedBarrierMerge schedules events on several lanes at one barrier
+// timestamp and checks they execute serially in comparator order — the
+// stop-the-world window in which cross-lane state access is legal.
+func TestShardedBarrierMerge(t *testing.T) {
+	sh := NewSharded(3, 1*Microsecond)
+	sh.SetBarrierEvery(10 * Microsecond)
+	var order []int
+	// All scheduled at assembly time (birthAt 0, distinct birth lanes), all
+	// firing at the same barrier instant: comparator order is lane order,
+	// then per-lane schedule order.
+	for lane := 2; lane >= 0; lane-- {
+		lane := lane
+		for k := 0; k < 2; k++ {
+			k := k
+			sh.Lane(lane).At(20*Microsecond, func() {
+				order = append(order, lane*10+k)
+			})
+		}
+	}
+	sh.RunUntil(25 * Microsecond)
+	want := []int{0, 1, 10, 11, 20, 21}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("barrier merge order %v, want %v", order, want)
+	}
+}
+
+// TestSendBelowLookaheadPanics pins the conservative guarantee: a handoff
+// faster than the lookahead would let a lane receive an event it may
+// already have executed past.
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	sh := NewSharded(2, 2*Microsecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send below lookahead did not panic")
+		}
+	}()
+	sh.Send(0, 1, 1*Microsecond, func(any) {}, nil)
+}
+
+// TestShardedObserverCounts checks the epoch observer sees every fired
+// event exactly once and that installing it does not change execution.
+func TestShardedObserverCounts(t *testing.T) {
+	build := func(obs ShardObserver) (*ShardedEngine, *[][]logged) {
+		sh := NewSharded(2, 1*Microsecond)
+		sh.SetBarrierEvery(12500 * Nanosecond)
+		sh.SetObserver(obs)
+		logs := make([][]logged, 2)
+		shardProgram(sh, logs)
+		return sh, &logs
+	}
+	counter := &countingObserver{}
+	sh, logs := build(counter)
+	sh.RunUntil(1 * Millisecond)
+	if got := sh.Fired(); counter.events != got {
+		t.Fatalf("observer saw %d events, engine fired %d", counter.events, got)
+	}
+	shBare, logsBare := build(nil)
+	shBare.RunUntil(1 * Millisecond)
+	if !reflect.DeepEqual(*logs, *logsBare) {
+		t.Fatal("installing an observer changed execution order")
+	}
+}
+
+type countingObserver struct{ events uint64 }
+
+func (c *countingObserver) ObserveEpoch(busyNs []int64, fired []uint64) {
+	for _, f := range fired {
+		c.events += f
+	}
+}
+
+// TestComparatorSingleEngineOrder pins the comparator-compatibility
+// invariant the sharded refactor rests on: on one engine, events at the
+// same instant still run in schedule order, whatever clock times they were
+// born at.
+func TestComparatorSingleEngineOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	// Schedule the target instant from several earlier instants; within
+	// each birth instant, schedule multiple events.
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.At(Time(i)*Microsecond, func() {
+			for k := 0; k < 3; k++ {
+				tag := fmt.Sprintf("b%d_%d", i, k)
+				eng.At(10*Microsecond, func() { order = append(order, tag) })
+			}
+		})
+	}
+	eng.RunUntil(20 * Microsecond)
+	want := []string{
+		"b0_0", "b0_1", "b0_2", "b1_0", "b1_1", "b1_2", "b2_0", "b2_1", "b2_2",
+		"b3_0", "b3_1", "b3_2", "b4_0", "b4_1", "b4_2",
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("same-instant order changed: got %v", order)
+	}
+}

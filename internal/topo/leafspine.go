@@ -70,10 +70,12 @@ type LeafSpine struct {
 	Spines []NodeID
 }
 
-// BuildLeafSpine constructs the fabric described by cfg.
+// BuildLeafSpine constructs the fabric described by cfg. An invalid config
+// panics — it is an internal invariant here; code assembling configs from
+// user input (the CLIs) calls Validate first and reports the typed error.
 func BuildLeafSpine(cfg LeafSpineConfig) *LeafSpine {
-	if cfg.Spines <= 0 || cfg.Leaves <= 0 || cfg.HostsPerLeaf <= 0 {
-		panic("topo: leaf-spine dimensions must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	g := &Graph{}
 	ls := &LeafSpine{Graph: g, Config: cfg}

@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"fmt"
+
+	"pet/internal/sim"
+)
+
+// Partition assigns every fabric node to a simulation lane (shard) and
+// carries the minimum propagation delay of any link crossing lanes — the
+// conservative lookahead a sharded engine may synchronize at.
+type Partition struct {
+	Lanes    int
+	Of       []int32  // lane per NodeID
+	CutDelay sim.Time // min delay over cross-lane links; 0 when nothing crosses
+}
+
+// Lane returns the lane node n is assigned to.
+func (p Partition) Lane(n NodeID) int32 { return p.Of[n] }
+
+// cutDelay scans the graph for the minimum delay among links whose
+// endpoints live in different lanes.
+func cutDelay(g *Graph, of []int32) sim.Time {
+	min := sim.Time(0)
+	for _, l := range g.Links {
+		if of[l.A] == of[l.B] {
+			continue
+		}
+		if min == 0 || l.Delay < min {
+			min = l.Delay
+		}
+	}
+	return min
+}
+
+// PartitionByLeaf shards a leaf-spine fabric by leaf: each leaf switch and
+// its hosts share a lane (host links never cross lanes), leaves are dealt
+// round-robin over n lanes and spines round-robin over the same lanes. n is
+// clamped to the leaf count — more lanes than leaves would only add empty
+// barriers. This is the forwarding-plane partition: every cross-lane link
+// is an uplink, so the lookahead is the uplink propagation delay.
+func PartitionByLeaf(ls *LeafSpine, n int) Partition {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(ls.Leaves) {
+		n = len(ls.Leaves)
+	}
+	of := make([]int32, len(ls.Graph.Nodes))
+	for i, leaf := range ls.Leaves {
+		of[leaf] = int32(i % n)
+	}
+	for _, h := range ls.Hosts {
+		of[h] = of[ls.LeafOf(h)]
+	}
+	for i, sp := range ls.Spines {
+		of[sp] = int32(i % n)
+	}
+	return Partition{Lanes: n, Of: of, CutDelay: cutDelay(ls.Graph, of)}
+}
+
+// PartitionFabric shards a leaf-spine fabric for a full protocol stack:
+// lane 0 is the control lane holding every host — end-host transports keep
+// per-connection sender and receiver state in one structure, so hosts must
+// share a lane — and the switches are dealt round-robin over lanes 1..n-1
+// (leaves first, then spines offset by the leaf count so a small fabric
+// does not stack a leaf and a spine on the same lane before using all
+// lanes). n is clamped to 1 + switches; n < 2 degenerates to everything on
+// lane 0. Host links always cross lanes here, so the lookahead is
+// min(host delay, uplink delay).
+func PartitionFabric(ls *LeafSpine, n int) Partition {
+	nodes := len(ls.Graph.Nodes)
+	if max := 1 + len(ls.Leaves) + len(ls.Spines); n > max {
+		n = max
+	}
+	of := make([]int32, nodes)
+	if n < 2 {
+		return Partition{Lanes: 1, Of: of}
+	}
+	fl := n - 1
+	for i, leaf := range ls.Leaves {
+		of[leaf] = int32(1 + i%fl)
+	}
+	for i, sp := range ls.Spines {
+		of[sp] = int32(1 + (len(ls.Leaves)+i)%fl)
+	}
+	// Hosts stay on lane 0 (the zero value).
+	return Partition{Lanes: n, Of: of, CutDelay: cutDelay(ls.Graph, of)}
+}
+
+// Validate checks the partition is usable by a sharded engine over g.
+func (p Partition) Validate(g *Graph) error {
+	if len(p.Of) != len(g.Nodes) {
+		return fmt.Errorf("topo: partition covers %d nodes, graph has %d", len(p.Of), len(g.Nodes))
+	}
+	for n, lane := range p.Of {
+		if lane < 0 || int(lane) >= p.Lanes {
+			return fmt.Errorf("topo: node %d on lane %d, have %d lanes", n, lane, p.Lanes)
+		}
+	}
+	if p.Lanes > 1 && p.CutDelay <= 0 {
+		return fmt.Errorf("topo: partition has a zero-delay cross-lane link; sharding needs positive propagation delays")
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"errors"
+	"testing"
+
+	"pet/internal/sim"
+)
+
+func TestPartitionByLeafKeepsHostsWithLeaf(t *testing.T) {
+	ls := BuildLeafSpine(SmallScale()) // 4 leaves, 2 spines
+	for _, n := range []int{1, 2, 3, 4, 9} {
+		p := PartitionByLeaf(ls, n)
+		if err := p.Validate(ls.Graph); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n >= len(ls.Leaves) && p.Lanes != len(ls.Leaves) {
+			t.Fatalf("n=%d not clamped to leaf count: %d lanes", n, p.Lanes)
+		}
+		for _, h := range ls.Hosts {
+			if p.Lane(h) != p.Lane(ls.LeafOf(h)) {
+				t.Fatalf("n=%d: host %d on lane %d, its leaf on %d", n, h, p.Lane(h), p.Lane(ls.LeafOf(h)))
+			}
+		}
+		if p.Lanes > 1 && p.CutDelay != SmallScale().UplinkDelay {
+			t.Fatalf("n=%d: cut delay %v, want uplink delay %v", n, p.CutDelay, SmallScale().UplinkDelay)
+		}
+	}
+}
+
+func TestPartitionFabricControlLane(t *testing.T) {
+	ls := BuildLeafSpine(TinyScale()) // 2 leaves, 2 spines
+	p := PartitionFabric(ls, 3)
+	if err := p.Validate(ls.Graph); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range ls.Hosts {
+		if p.Lane(h) != 0 {
+			t.Fatalf("host %d not on control lane: lane %d", h, p.Lane(h))
+		}
+	}
+	used := map[int32]bool{}
+	for _, sw := range append(append([]NodeID{}, ls.Leaves...), ls.Spines...) {
+		lane := p.Lane(sw)
+		if lane == 0 {
+			t.Fatalf("switch %d on the control lane", sw)
+		}
+		used[lane] = true
+	}
+	if len(used) != 2 {
+		t.Fatalf("switches spread over %d fabric lanes, want 2", len(used))
+	}
+	if p.CutDelay != 1*sim.Microsecond {
+		t.Fatalf("cut delay %v, want 1µs", p.CutDelay)
+	}
+	// Degenerate and clamped counts.
+	if p := PartitionFabric(ls, 1); p.Lanes != 1 {
+		t.Fatalf("n=1 gave %d lanes", p.Lanes)
+	}
+	if p := PartitionFabric(ls, 100); p.Lanes != 1+len(ls.Leaves)+len(ls.Spines) {
+		t.Fatalf("n=100 not clamped: %d lanes", p.Lanes)
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	for _, name := range Presets() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: invalid preset: %v", name, err)
+		}
+	}
+	cfg, err := Preset("paper")
+	if err != nil || cfg.Leaves != 12 || cfg.Spines != 6 || cfg.HostsPerLeaf*cfg.Leaves != 288 {
+		t.Fatalf("paper preset wrong: %+v, %v", cfg, err)
+	}
+	_, err = Preset("gigantic")
+	var upe *UnknownPresetError
+	if !errors.As(err, &upe) || upe.Name != "gigantic" {
+		t.Fatalf("unknown preset error: %v", err)
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	bad := PaperScale()
+	bad.Leaves = 0
+	var ce *ConfigError
+	if err := bad.Validate(); !errors.As(err, &ce) || ce.Field != "leaf count" {
+		t.Fatalf("want leaf-count ConfigError, got %v", err)
+	}
+	bad = PaperScale()
+	bad.UplinkBps = bad.HostLinkBps / 2
+	if err := bad.Validate(); !errors.As(err, &ce) {
+		t.Fatalf("want oversubscription ConfigError, got %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BuildLeafSpine on invalid config did not panic")
+		}
+	}()
+	BuildLeafSpine(LeafSpineConfig{})
+}

@@ -100,6 +100,45 @@ func SmallScale() LeafSpineConfig { return topo.SmallScale() }
 // default benchmarks.
 func TinyScale() LeafSpineConfig { return topo.TinyScale() }
 
+// MediumScale returns the 72-host middle step between SmallScale and
+// PaperScale.
+func MediumScale() LeafSpineConfig { return topo.MediumScale() }
+
+// TopoPreset resolves a named fabric preset ("tiny", "small", "medium",
+// "paper"). Unknown names yield an *UnknownTopoPresetError listing the known
+// presets — the CLIs print it and exit 2 instead of panicking.
+func TopoPreset(name string) (LeafSpineConfig, error) { return topo.Preset(name) }
+
+// TopoPresets lists the preset names, smallest fabric first.
+func TopoPresets() []string { return topo.Presets() }
+
+// Topology validation errors (errors.As).
+type (
+	// TopoConfigError reports which LeafSpineConfig field is invalid and
+	// why; LeafSpineConfig.Validate returns it and BuildLeafSpine panics
+	// on it, so CLIs validate user-assembled configs first.
+	TopoConfigError = topo.ConfigError
+	// UnknownTopoPresetError reports a preset name TopoPreset does not know.
+	UnknownTopoPresetError = topo.UnknownPresetError
+)
+
+// Sharded execution. A Scenario with Shards >= 2 runs its simulation on a
+// partitioned engine — one event loop per fabric shard, synchronized by
+// conservative lookahead — without changing any result byte (see DESIGN.md
+// "Sharded engine").
+type (
+	// ShardedEngine is a set of per-shard event loops advancing in lockstep
+	// epochs; Env.Sharded exposes the one driving a sharded scenario.
+	ShardedEngine = sim.ShardedEngine
+	// TopoPartition assigns every node of a fabric to an engine lane.
+	TopoPartition = topo.Partition
+)
+
+// PartitionFabric maps a built fabric onto n lanes the way sharded
+// scenarios do: hosts and transports on the control lane, switches spread
+// over the rest.
+func PartitionFabric(ls *LeafSpine, n int) TopoPartition { return topo.PartitionFabric(ls, n) }
+
 // Network-level types.
 type (
 	// Network is the runtime packet network over a topology.
