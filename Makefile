@@ -1,7 +1,7 @@
 # Verification tiers. `make ci` is the full gate; see README.md.
 GO ?= go
 
-.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve bench-shard serve-smoke results test-chaos test-pool test-store test-serve-chaos test-shard ci
+.PHONY: build build-examples test test-cli race vet lint bench bench-smoke bench-json bench-serve bench-shard serve-smoke results test-chaos test-pool test-store test-serve-chaos test-shard test-scenario ci
 
 build:
 	$(GO) build ./...
@@ -103,6 +103,14 @@ test-serve-chaos:
 test-shard:
 	$(GO) test -race -count=2 -run 'Shard|Partition|Preset|Comparator' ./internal/sim/ ./internal/netsim/ ./internal/topo/ ./internal/bench/
 
+# Scenario tier: the declarative scenario DSL end to end — strict decoding
+# with JSON-path errors, spec round-trip properties, spec-vs-hand-built
+# byte-identity, the named event/workload registries, the canned scenario
+# library goldens, and the -scenario flag in all three CLIs plus petd's
+# embedded-scenario jobs — under the race detector, twice.
+test-scenario:
+	$(GO) test -race -count=2 -run 'Spec|Scenario|Canned|EventKind|CompileEvents|LinkEvent|WithDefaults|ZeroLoad|AllSchemes|Registry' ./internal/bench/ ./internal/serve/ ./internal/workload/ ./cmd/petsim/ ./cmd/pettrain/ ./cmd/petbench/
+
 # Sharded-forwarding throughput snapshot: paper-scale fabric (288 hosts) at
 # shards=1/2/NumCPU, merged into BENCH_shard.json. Numbers from a single-CPU
 # machine show the synchronization overhead, not a speedup — the JSON notes
@@ -117,4 +125,4 @@ bench-shard:
 results:
 	$(GO) run ./cmd/petbench -quick -exp all > petbench_results.txt
 
-ci: build build-examples vet lint test test-cli test-pool test-store serve-smoke race test-chaos test-serve-chaos test-shard
+ci: build build-examples vet lint test test-cli test-pool test-store serve-smoke race test-chaos test-serve-chaos test-shard test-scenario

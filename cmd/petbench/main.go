@@ -6,16 +6,24 @@
 //	petbench -exp fig4,table1         # a subset
 //	petbench -exp fig4 -topo small    # bigger fabric, slower
 //	petbench -quick                   # fast smoke pass
+//	petbench -scenario scenarios/failure-storm.json   # one spec-described run
 //	petbench -telemetry :8080         # watch progress on /metrics meanwhile
 //	petbench -list-schemes            # registered scheme names
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 table1 overhead historyk beta
+//
+// -scenario skips the paper catalog and instead executes one declarative
+// scenario document (the same JSON petsim and petd accept), rendering the
+// run as a metric/value table. -seed and -shards still override the
+// document when set explicitly, and -quick shrinks its measurement windows.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -24,55 +32,119 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("petbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments or 'all'")
-		topoF   = flag.String("topo", "tiny", "fabric preset: "+strings.Join(pet.TopoPresets(), "|"))
-		spines  = flag.Int("spines", 0, "override the preset's spine count")
-		leaves  = flag.Int("leaves", 0, "override the preset's leaf count")
-		hosts   = flag.Int("hosts", 0, "override the preset's hosts per leaf")
-		shards  = flag.Int("shards", 1, "event-loop shards per simulation (0 = one per CPU, 1 = single loop)")
-		seed    = flag.Int64("seed", 1, "root random seed")
-		seeds   = flag.Int("seeds", 1, "independent seeds averaged per result cell")
-		loads   = flag.String("loads", "0.3,0.5,0.7", "comma-separated offered loads")
-		quick   = flag.Bool("quick", false, "shrink training and measurement windows")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		listS   = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
-		listT   = flag.Bool("list-transports", false, "print the registered transport names and exit")
-		version = flag.Bool("version", false, "print the build identity and exit")
+		exps      = fs.String("exp", "all", "comma-separated experiments or 'all'")
+		scenarioF = fs.String("scenario", "", "run one scenario document (JSON) instead of the experiment catalog")
+		topoF     = fs.String("topo", "tiny", "fabric preset: "+strings.Join(pet.TopoPresets(), "|"))
+		spines    = fs.Int("spines", 0, "override the preset's spine count")
+		leaves    = fs.Int("leaves", 0, "override the preset's leaf count")
+		hosts     = fs.Int("hosts", 0, "override the preset's hosts per leaf")
+		shards    = fs.Int("shards", 1, "event-loop shards per simulation (0 = one per CPU, 1 = single loop)")
+		seed      = fs.Int64("seed", 1, "root random seed")
+		seeds     = fs.Int("seeds", 1, "independent seeds averaged per result cell")
+		loads     = fs.String("loads", "0.3,0.5,0.7", "comma-separated offered loads")
+		quick     = fs.Bool("quick", false, "shrink training and measurement windows")
+		csvDir    = fs.String("csv", "", "also write each table as CSV into this directory")
+		listS     = fs.Bool("list-schemes", false, "print the registered scheme names and exit")
+		listT     = fs.Bool("list-transports", false, "print the registered transport names and exit")
+		version   = fs.Bool("version", false, "print the build identity and exit")
 	)
 	var tf pet.TelemetryFlag
-	tf.Register(flag.CommandLine)
-	flag.Parse()
+	tf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *version {
-		fmt.Println(pet.ReadBuildInfo())
-		return
+		fmt.Fprintln(stdout, pet.ReadBuildInfo())
+		return 0
 	}
 	if *listS {
 		for _, name := range pet.SchemeNames() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return 0
 	}
 	if *listT {
 		for _, name := range pet.TransportNames() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return 0
 	}
+
+	fatalf := func(code int, format string, args ...any) int {
+		fmt.Fprintf(stderr, "petbench: "+format+"\n", args...)
+		return code
+	}
+
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
-			os.Exit(1)
+			return fatalf(1, "%v", err)
 		}
 	}
 
 	if err := tf.Start(func(format string, a ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", a...)
+		fmt.Fprintf(stderr, format+"\n", a...)
 	}); err != nil {
-		fmt.Fprintf(os.Stderr, "petbench: telemetry: %v\n", err)
-		os.Exit(1)
+		return fatalf(1, "telemetry: %v", err)
 	}
 	defer tf.Stop()
+
+	if *shards == 0 {
+		*shards = runtime.NumCPU()
+	}
+
+	if *scenarioF != "" {
+		visited := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+		spec, err := pet.LoadScenarioFile(*scenarioF)
+		if err != nil {
+			return fatalf(2, "%v", err)
+		}
+		s, err := spec.ToScenario()
+		if err != nil {
+			return fatalf(2, "%v", err)
+		}
+		if visited["seed"] {
+			s.Seed = *seed
+		}
+		if visited["shards"] {
+			s.Shards = *shards
+		}
+		if *quick {
+			s.Warmup = 5 * pet.Millisecond
+			s.ExplicitWarmup = true
+			s.Duration = 15 * pet.Millisecond
+		}
+		s.Telemetry = tf.Registry
+		title := spec.Name
+		if title == "" {
+			title = *scenarioF
+		}
+		start := time.Now()
+		res, err := pet.Run(s)
+		if err != nil {
+			return fatalf(1, "%v", err)
+		}
+		tb := pet.ResultTable(title, res)
+		tb.Note("scenario %s, simulated %v in %v wall clock", *scenarioF,
+			time.Duration((s.Warmup+s.Duration)/pet.Nanosecond)*time.Nanosecond,
+			time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(stdout, tb)
+		if *csvDir != "" {
+			base := strings.TrimSuffix(filepath.Base(*scenarioF), filepath.Ext(*scenarioF))
+			path := filepath.Join(*csvDir, base+".csv")
+			if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+				return fatalf(1, "%v", err)
+			}
+		}
+		return 0
+	}
 
 	r := pet.NewRunner()
 	r.Seed = *seed
@@ -80,8 +152,7 @@ func main() {
 	r.Telemetry = tf.Registry
 	topoCfg, err := pet.TopoPreset(*topoF)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
-		os.Exit(2)
+		return fatalf(2, "%v", err)
 	}
 	if *spines > 0 {
 		topoCfg.Spines = *spines
@@ -93,23 +164,18 @@ func main() {
 		topoCfg.HostsPerLeaf = *hosts
 	}
 	if err := topoCfg.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
-		os.Exit(2)
+		return fatalf(2, "%v", err)
 	}
 	r.Topo = topoCfg
 	if topoCfg.Leaves*topoCfg.HostsPerLeaf >= 100 {
-		fmt.Fprintln(os.Stderr, "note: large fabric; expect long runtimes")
-	}
-	if *shards == 0 {
-		*shards = runtime.NumCPU()
+		fmt.Fprintln(stderr, "note: large fabric; expect long runtimes")
 	}
 	r.Shards = *shards
 	r.Loads = nil
 	for _, s := range strings.Split(*loads, ",") {
 		var l float64
 		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &l); err != nil || l <= 0 || l > 1 {
-			fmt.Fprintf(os.Stderr, "petbench: bad load %q\n", s)
-			os.Exit(2)
+			return fatalf(2, "bad load %q", s)
 		}
 		r.Loads = append(r.Loads, l)
 	}
@@ -160,8 +226,7 @@ func main() {
 		}
 		for e := range want {
 			if !known[e] {
-				fmt.Fprintf(os.Stderr, "petbench: unknown experiment %q\n", e)
-				os.Exit(2)
+				return fatalf(2, "unknown experiment %q", e)
 			}
 		}
 	}
@@ -179,7 +244,7 @@ func main() {
 	// from the second one on and sharpens as the sweep advances.
 	sweepStart := time.Now()
 	r.Progress = func(msg string) {
-		fmt.Fprintf(os.Stderr, "  … %s (t+%v)\n", msg, time.Since(sweepStart).Round(time.Second))
+		fmt.Fprintf(stderr, "  … %s (t+%v)\n", msg, time.Since(sweepStart).Round(time.Second))
 	}
 	for k, e := range selected {
 		eta := ""
@@ -187,23 +252,22 @@ func main() {
 			remaining := time.Since(sweepStart) / time.Duration(k) * time.Duration(len(selected)-k)
 			eta = fmt.Sprintf(", ETA %v", remaining.Round(time.Second))
 		}
-		fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", k+1, len(selected), e.name, eta)
+		fmt.Fprintf(stderr, "[%d/%d] %s%s\n", k+1, len(selected), e.name, eta)
 		start := time.Now()
 		tables, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "petbench: %s: %v\n", e.name, err)
-			os.Exit(1)
+			return fatalf(1, "%s: %v", e.name, err)
 		}
 		for i, tb := range tables {
-			fmt.Println(tb)
+			fmt.Fprintln(stdout, tb)
 			if *csvDir != "" {
 				path := fmt.Sprintf("%s/%s_%d.csv", *csvDir, e.name, i)
 				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "petbench: %v\n", err)
-					os.Exit(1)
+					return fatalf(1, "%v", err)
 				}
 			}
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

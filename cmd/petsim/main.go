@@ -30,6 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("petsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		scenarioF  = fs.String("scenario", "", "load a scenario document (JSON); explicitly-set flags override its fields")
 		schemeF    = fs.String("scheme", "PET", "registered scheme name (see -list-schemes)")
 		transportF = fs.String("transport", "dcqcn", "registered end-host transport (see -list-transports)")
 		topoF      = fs.String("topo", "tiny", "fabric preset: "+strings.Join(pet.TopoPresets(), "|"))
@@ -37,7 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		leaves     = fs.Int("leaves", 0, "override the preset's leaf count")
 		hosts      = fs.Int("hosts", 0, "override the preset's hosts per leaf")
 		shards     = fs.Int("shards", 1, "event-loop shards (0 = one per CPU, 1 = single loop)")
-		wlF        = fs.String("workload", "websearch", "websearch | datamining")
+		wlF        = fs.String("workload", "websearch", "registered workload name: "+strings.Join(pet.WorkloadNames(), "|"))
 		load       = fs.Float64("load", 0.6, "offered load fraction (0,1]")
 		incast     = fs.Float64("incast", 0.2, "fraction of load delivered as incast groups")
 		fanIn      = fs.Int("fanin", 3, "senders per incast group")
@@ -49,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceF     = fs.String("trace", "", "write an event trace CSV to this path")
 		listS      = fs.Bool("list-schemes", false, "print the registered scheme names and exit")
 		listT      = fs.Bool("list-transports", false, "print the registered transport names and exit")
+		listW      = fs.Bool("list-workloads", false, "print the registered workload names and exit")
+		listE      = fs.Bool("list-events", false, "print the registered event kinds and exit")
 		version    = fs.Bool("version", false, "print the build identity and exit")
 	)
 	var tf pet.TelemetryFlag
@@ -72,55 +75,111 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *listW {
+		for _, name := range pet.WorkloadNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+	if *listE {
+		for _, name := range pet.EventKindNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
 
 	fatalf := func(format string, args ...any) int {
 		fmt.Fprintf(stderr, "petsim: "+format+"\n", args...)
 		return 2
 	}
 
-	s := pet.Scenario{
-		Seed:           *seed,
-		Load:           *load,
-		IncastFraction: *incast,
-		IncastFanIn:    *fanIn,
-		Scheme:         pet.Scheme(*schemeF),
-		Transport:      pet.TransportKind(*transportF),
-		Train:          *train,
-		Warmup:         pet.Time(warmup.Nanoseconds()) * pet.Nanosecond,
-		Duration:       pet.Time(dur.Nanoseconds()) * pet.Nanosecond,
+	// With -scenario the document is the base configuration and only flags
+	// the user explicitly set override it; without, every flag applies.
+	visited := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+	set := func(name string) bool { return *scenarioF == "" || visited[name] }
+
+	var s pet.Scenario
+	runLabel := *wlF
+	if *scenarioF != "" {
+		spec, err := pet.LoadScenarioFile(*scenarioF)
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		if s, err = spec.ToScenario(); err != nil {
+			return fatalf("%v", err)
+		}
+		runLabel = spec.Name
+		if runLabel == "" {
+			runLabel = *scenarioF
+		}
 	}
-	topoCfg, err := pet.TopoPreset(*topoF)
-	if err != nil {
+	if set("seed") {
+		s.Seed = *seed
+	}
+	if set("load") {
+		s.Load = *load
+		s.ExplicitLoad = true
+	}
+	if set("incast") {
+		s.IncastFraction = *incast
+	}
+	if set("fanin") {
+		s.IncastFanIn = *fanIn
+	}
+	if set("scheme") {
+		s.Scheme = pet.Scheme(*schemeF)
+	}
+	if set("transport") {
+		s.Transport = pet.TransportKind(*transportF)
+	}
+	if set("train") {
+		s.Train = *train
+	}
+	if set("warmup") {
+		s.Warmup = pet.Time(warmup.Nanoseconds()) * pet.Nanosecond
+		s.ExplicitWarmup = true
+	}
+	if set("duration") {
+		s.Duration = pet.Time(dur.Nanoseconds()) * pet.Nanosecond
+	}
+	if set("topo") {
+		topoCfg, err := pet.TopoPreset(*topoF)
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		s.Topo = topoCfg
+	}
+	if *spines > 0 && set("spines") {
+		s.Topo.Spines = *spines
+	}
+	if *leaves > 0 && set("leaves") {
+		s.Topo.Leaves = *leaves
+	}
+	if *hosts > 0 && set("hosts") {
+		s.Topo.HostsPerLeaf = *hosts
+	}
+	if err := s.Topo.Validate(); err != nil {
 		return fatalf("%v", err)
 	}
-	if *spines > 0 {
-		topoCfg.Spines = *spines
-	}
-	if *leaves > 0 {
-		topoCfg.Leaves = *leaves
-	}
-	if *hosts > 0 {
-		topoCfg.HostsPerLeaf = *hosts
-	}
-	if err := topoCfg.Validate(); err != nil {
-		return fatalf("%v", err)
-	}
-	s.Topo = topoCfg
 	if *shards == 0 {
 		*shards = runtime.NumCPU()
 	}
-	s.Shards = *shards
-	switch *wlF {
-	case "websearch":
-		s.Workload = pet.WebSearch()
-		s.Beta1, s.Beta2 = 0.3, 0.7
-	case "datamining":
-		s.Workload = pet.DataMining()
-		s.Beta1, s.Beta2 = 0.7, 0.3
-	default:
-		return fatalf("unknown workload %q", *wlF)
+	if set("shards") {
+		s.Shards = *shards
 	}
-	if *models != "" {
+	if set("workload") {
+		wl, err := pet.WorkloadByName(*wlF)
+		if err != nil {
+			return fatalf("%v", err)
+		}
+		s.Workload = wl
+		if !s.ExplicitBetas {
+			s.Beta1, s.Beta2 = pet.DefaultBetas(wl)
+			s.ExplicitBetas = true
+		}
+	}
+	if *models != "" && set("models") {
 		data, err := os.ReadFile(*models)
 		if err != nil {
 			return fatalf("reading models: %v", err)
@@ -158,7 +217,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "trace       %d events -> %s\n", env.Trace.Len(), *traceF)
 	}
 
-	fmt.Fprintf(stdout, "scheme      %s  (%s, load %.0f%%, %s)\n", res.Scheme, *wlF, *load*100, *topoF)
+	label := fmt.Sprintf("%s, load %.0f%%, %s", *wlF, *load*100, *topoF)
+	if *scenarioF != "" {
+		label = fmt.Sprintf("scenario %s, load %.0f%%", runLabel, res.Load*100)
+	}
+	fmt.Fprintf(stdout, "scheme      %s  (%s)\n", res.Scheme, label)
 	fmt.Fprintf(stdout, "flows done  %d   drops %d\n", res.FlowsDone, res.Drops)
 	fmt.Fprintf(stdout, "normalized FCT (slowdown):\n")
 	fmt.Fprintf(stdout, "  overall        avg %8.2f   p99 %8.2f   (n=%d)\n",

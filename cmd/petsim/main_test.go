@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,5 +70,121 @@ func TestShortRunPrintsStats(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// --- scenario document loading ---
+
+func TestScenarioFileRuns(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{
+		"name": "cli-probe",
+		"seed": 5,
+		"scheme": "SECN1",
+		"load": 0.5,
+		"warmup": "2ms",
+		"duration": "5ms"
+	}`
+	path := filepath.Join(dir, "probe.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-scenario", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scenario cli-probe") {
+		t.Fatalf("output does not label the scenario run:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "scheme      SECN1") {
+		t.Fatalf("output missing document scheme:\n%s", out.String())
+	}
+}
+
+// Explicitly-set flags override the document; defaults do not.
+func TestScenarioFlagOverrides(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{"seed": 5, "scheme": "SECN1", "load": 0.5, "warmup": "2ms", "duration": "4ms"}`
+	path := filepath.Join(dir, "probe.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-scenario", path, "-scheme", "SECN2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scheme      SECN2") {
+		t.Fatalf("explicit -scheme did not override the document:\n%s", out.String())
+	}
+}
+
+func TestScenarioBadSpecExit2(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct{ doc, want string }{
+		{`{"topo": {"spine": 2}}`, "topo.spine: unknown field"},
+		{`{"scheme": "NOPE"}`, "scheme: bench: unknown scheme"},
+		{`{"events": [{"at": "1ms", "kind": "quake"}]}`, "events[0].kind"},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(path, []byte(tc.doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out, errb bytes.Buffer
+		code := run([]string{"-scenario", path}, &out, &errb)
+		if code != 2 {
+			t.Fatalf("exit = %d, want 2 for %s", code, tc.doc)
+		}
+		if !strings.Contains(errb.String(), tc.want) {
+			t.Fatalf("stderr %q does not name %q", errb.String(), tc.want)
+		}
+	}
+}
+
+func TestScenarioMissingFileExit2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "/does/not/exist.json"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// Every canned library scenario loads and runs through petsim (windows
+// shortened via explicit flag overrides to stay test-fast).
+func TestCannedScenarioLibraryLoads(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no scenario library found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run([]string{"-scenario", f, "-warmup", "1ms", "-duration", "2ms"}, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+			}
+			if !strings.Contains(out.String(), "flows done") {
+				t.Fatalf("no stats printed:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestListWorkloadsAndEvents(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list-workloads"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if out.String() != "datamining\nwebsearch\n" {
+		t.Fatalf("-list-workloads = %q", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-list-events"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if out.String() != "incast-burst\nlink-down\nlink-up\nload-change\nworkload-switch\n" {
+		t.Fatalf("-list-events = %q", out.String())
 	}
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pettrain -workload websearch -duration 200ms -out pet.model
+//	pettrain -scenario scenarios/onoff-bursty.json -out pet.model
 //	pettrain -workers 8 -rounds 20 -checkpoint ckpt/ -out pet.model
 //	pettrain -workers 8 -rounds 40 -checkpoint ckpt/ -resume -out pet.model
 //	pettrain -workers 4 -rounds 50 -telemetry :8080 -out pet.model
@@ -20,6 +21,12 @@
 // crash-safe on disk; -resume continues an interrupted run from it. A
 // resumed run must keep the checkpoint's -workers count (episode seeds
 // derive from it); pass -allow-worker-change to override knowingly.
+//
+// -scenario loads a versioned scenario document (the same JSON petsim and
+// petd accept) as the training environment: topology, workload, load,
+// reward betas, perturbation events. Flags the user explicitly sets still
+// override the document's fields, and the document's duration becomes the
+// per-episode training time unless -duration is given.
 //
 // The trainer degrades instead of dying: a failed, panicking, or stuck
 // episode retries up to -retries times (each attempt on a fresh
@@ -47,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -58,72 +66,127 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pettrain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		topoF     = flag.String("topo", "tiny", "fabric preset: "+strings.Join(pet.TopoPresets(), "|"))
-		shards    = flag.Int("shards", 1, "event-loop shards per episode engine (0 = one per CPU, 1 = single loop)")
-		wlF       = flag.String("workload", "websearch", "websearch | datamining")
-		load      = flag.Float64("load", 0.6, "offered training load")
-		dur       = flag.Duration("duration", 100*time.Millisecond, "simulated training time per episode")
-		seed      = flag.Int64("seed", 1, "root random seed")
-		out       = flag.String("out", "pet.model", "output model bundle path")
-		workers   = flag.Int("workers", 1, "parallel rollout workers (0 = all cores)")
-		rounds    = flag.Int("rounds", 1, "synchronized merge rounds")
-		ckpt      = flag.String("checkpoint", "", "checkpoint directory (atomic per-round bundle + manifest)")
-		resume    = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint")
-		allowWC   = flag.Bool("allow-worker-change", false, "permit resuming with a different worker count (changes the training trajectory)")
-		retries   = flag.Int("retries", 2, "per-episode retries after a failure, panic or blown deadline (fresh seed per attempt)")
-		epTimeout = flag.Duration("episode-timeout", 0, "wall-clock deadline per episode attempt (0 = unbounded)")
-		quorum    = flag.Int("quorum", 0, "minimum successful episodes to merge a round (0 = all workers; less marks the round degraded)")
-		keepCkpt  = flag.Int("keep-checkpoints", 3, "round-stamped bundles retained for corruption fallback on resume")
-		traceCSV  = flag.String("tracecsv", "", "write per-round telemetry as CSV to this file")
-		quiet     = flag.Bool("q", false, "suppress per-round progress on stderr")
-		storeDir  = flag.String("store", "", "publish each checkpointed round into this versioned model store (requires -checkpoint)")
-		storeCh   = flag.String("store-channel", "", "store channel the published versions land on (default \"candidate\")")
-		listS     = flag.Bool("list-schemes", false, "print the registered scheme names and exit")
-		listT     = flag.Bool("list-transports", false, "print the registered transport names and exit")
-		version   = flag.Bool("version", false, "print the build identity and exit")
+		scenarioF = fs.String("scenario", "", "load a scenario document (JSON); explicitly-set flags override its fields")
+		topoF     = fs.String("topo", "tiny", "fabric preset: "+strings.Join(pet.TopoPresets(), "|"))
+		shards    = fs.Int("shards", 1, "event-loop shards per episode engine (0 = one per CPU, 1 = single loop)")
+		wlF       = fs.String("workload", "websearch", "registered workload name: "+strings.Join(pet.WorkloadNames(), "|"))
+		load      = fs.Float64("load", 0.6, "offered training load")
+		dur       = fs.Duration("duration", 100*time.Millisecond, "simulated training time per episode")
+		seed      = fs.Int64("seed", 1, "root random seed")
+		out       = fs.String("out", "pet.model", "output model bundle path")
+		workers   = fs.Int("workers", 1, "parallel rollout workers (0 = all cores)")
+		rounds    = fs.Int("rounds", 1, "synchronized merge rounds")
+		ckpt      = fs.String("checkpoint", "", "checkpoint directory (atomic per-round bundle + manifest)")
+		resume    = fs.Bool("resume", false, "resume from the last checkpoint in -checkpoint")
+		allowWC   = fs.Bool("allow-worker-change", false, "permit resuming with a different worker count (changes the training trajectory)")
+		retries   = fs.Int("retries", 2, "per-episode retries after a failure, panic or blown deadline (fresh seed per attempt)")
+		epTimeout = fs.Duration("episode-timeout", 0, "wall-clock deadline per episode attempt (0 = unbounded)")
+		quorum    = fs.Int("quorum", 0, "minimum successful episodes to merge a round (0 = all workers; less marks the round degraded)")
+		keepCkpt  = fs.Int("keep-checkpoints", 3, "round-stamped bundles retained for corruption fallback on resume")
+		traceCSV  = fs.String("tracecsv", "", "write per-round telemetry as CSV to this file")
+		quiet     = fs.Bool("q", false, "suppress per-round progress on stderr")
+		storeDir  = fs.String("store", "", "publish each checkpointed round into this versioned model store (requires -checkpoint)")
+		storeCh   = fs.String("store-channel", "", "store channel the published versions land on (default \"candidate\")")
+		listS     = fs.Bool("list-schemes", false, "print the registered scheme names and exit")
+		listT     = fs.Bool("list-transports", false, "print the registered transport names and exit")
+		listW     = fs.Bool("list-workloads", false, "print the registered workload names and exit")
+		version   = fs.Bool("version", false, "print the build identity and exit")
 	)
 	var tf pet.TelemetryFlag
-	tf.Register(flag.CommandLine)
-	flag.Parse()
+	tf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *version {
-		fmt.Println(pet.ReadBuildInfo())
-		return
+		fmt.Fprintln(stdout, pet.ReadBuildInfo())
+		return 0
 	}
 	if *listS {
 		for _, name := range pet.SchemeNames() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return 0
 	}
 	if *listT {
 		for _, name := range pet.TransportNames() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return 0
+	}
+	if *listW {
+		for _, name := range pet.WorkloadNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
 	}
 
-	s := pet.Scenario{Seed: *seed, Load: *load, IncastFraction: 0.2, IncastFanIn: 3}
-	topoCfg, err := pet.TopoPreset(*topoF)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
-		os.Exit(2)
+	fatalf := func(code int, format string, args ...any) int {
+		fmt.Fprintf(stderr, "pettrain: "+format+"\n", args...)
+		return code
 	}
-	s.Topo = topoCfg
+
+	// With -scenario the document is the base configuration and only flags
+	// the user explicitly set override it; without, every flag applies.
+	visited := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { visited[f.Name] = true })
+	set := func(name string) bool { return *scenarioF == "" || visited[name] }
+
+	var s pet.Scenario
+	episode := pet.Time(dur.Nanoseconds()) * pet.Nanosecond
+	if *scenarioF != "" {
+		spec, err := pet.LoadScenarioFile(*scenarioF)
+		if err != nil {
+			return fatalf(2, "%v", err)
+		}
+		if s, err = spec.ToScenario(); err != nil {
+			return fatalf(2, "%v", err)
+		}
+		// The document's measurement window doubles as the per-episode
+		// training time unless -duration overrides it.
+		if s.Duration > 0 && !visited["duration"] {
+			episode = s.Duration
+		}
+	} else {
+		s.IncastFraction = 0.2
+		s.IncastFanIn = 3
+	}
+	if set("seed") {
+		s.Seed = *seed
+	}
+	if set("load") {
+		s.Load = *load
+		s.ExplicitLoad = true
+	}
+	if set("topo") {
+		topoCfg, err := pet.TopoPreset(*topoF)
+		if err != nil {
+			return fatalf(2, "%v", err)
+		}
+		s.Topo = topoCfg
+	}
 	if *shards == 0 {
 		*shards = runtime.NumCPU()
 	}
-	s.Shards = *shards
-	switch *wlF {
-	case "websearch":
-		s.Workload = pet.WebSearch()
-		s.Beta1, s.Beta2 = 0.3, 0.7
-	case "datamining":
-		s.Workload = pet.DataMining()
-		s.Beta1, s.Beta2 = 0.7, 0.3
-	default:
-		fmt.Fprintf(os.Stderr, "pettrain: unknown workload %q\n", *wlF)
-		os.Exit(2)
+	if set("shards") {
+		s.Shards = *shards
+	}
+	if set("workload") {
+		wl, err := pet.WorkloadByName(*wlF)
+		if err != nil {
+			return fatalf(2, "%v", err)
+		}
+		s.Workload = wl
+		if !s.ExplicitBetas {
+			s.Beta1, s.Beta2 = pet.DefaultBetas(wl)
+			s.ExplicitBetas = true
+		}
 	}
 
 	if *workers == 0 {
@@ -142,30 +205,27 @@ func main() {
 		// Retries, stragglers, degraded rounds and checkpoint fallbacks
 		// are exceptional; surface them even under -q.
 		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "pettrain: "+format+"\n", a...)
+			fmt.Fprintf(stderr, "pettrain: "+format+"\n", a...)
 		},
 	}
 	if *storeDir != "" {
 		st, err := pet.OpenModelStore(*storeDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pettrain: opening model store: %v\n", err)
-			os.Exit(1)
+			return fatalf(1, "opening model store: %v", err)
 		}
 		cfg.Store = st
 		cfg.StoreChannel = *storeCh
 	} else if *storeCh != "" {
-		fmt.Fprintln(os.Stderr, "pettrain: -store-channel needs -store")
-		os.Exit(2)
+		return fatalf(2, "-store-channel needs -store")
 	}
 	if *traceCSV != "" {
 		// The CSV flush needs a registry even when nothing is served.
 		tf.Registry = pet.NewTelemetry()
 	}
 	if err := tf.Start(func(format string, a ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", a...)
+		fmt.Fprintf(stderr, format+"\n", a...)
 	}); err != nil {
-		fmt.Fprintf(os.Stderr, "pettrain: telemetry: %v\n", err)
-		os.Exit(1)
+		return fatalf(1, "telemetry: %v", err)
 	}
 	defer tf.Stop() // drain in-flight scrapes instead of snapping them
 	cfg.Telemetry = tf.Registry
@@ -180,7 +240,7 @@ func main() {
 			if r.Degraded {
 				note = fmt.Sprintf(" [degraded: %d of %d slots failed]", r.Failed, *workers)
 			}
-			fmt.Fprintf(os.Stderr, "round %d/%d: %d episodes, mean reward %.4f, %d PPO updates%s\n",
+			fmt.Fprintf(stderr, "round %d/%d: %d episodes, mean reward %.4f, %d PPO updates%s\n",
 				r.Round+1, *rounds, r.Episodes, r.MeanReward, r.Updates, note)
 		}
 	}
@@ -192,25 +252,23 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	res, err := pet.PretrainFleetContext(ctx, s, pet.Time(dur.Nanoseconds())*pet.Nanosecond, cfg)
+	res, err := pet.PretrainFleetContext(ctx, s, episode, cfg)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "pettrain: interrupted: %v\n", err)
+			fmt.Fprintf(stderr, "pettrain: interrupted: %v\n", err)
 			if *ckpt != "" && res.Rounds > 0 {
-				fmt.Fprintf(os.Stderr, "pettrain: checkpoint covers %d completed round(s); rerun with -resume to continue\n", res.Rounds)
+				fmt.Fprintf(stderr, "pettrain: checkpoint covers %d completed round(s); rerun with -resume to continue\n", res.Rounds)
 			}
-			os.Exit(130)
+			return 130
 		}
-		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
-		os.Exit(1)
+		return fatalf(1, "%v", err)
 	}
 	stop() // training finished; restore default signal disposition
 	if res.ResumedFrom > 0 {
-		fmt.Fprintf(os.Stderr, "resumed from checkpoint at round %d\n", res.ResumedFrom)
+		fmt.Fprintf(stderr, "resumed from checkpoint at round %d\n", res.ResumedFrom)
 	}
 	if err := os.WriteFile(*out, res.Models, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "pettrain: %v\n", err)
-		os.Exit(1)
+		return fatalf(1, "%v", err)
 	}
 	if rec != nil {
 		f, err := os.Create(*traceCSV)
@@ -221,15 +279,19 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pettrain: tracecsv: %v\n", err)
-			os.Exit(1)
+			return fatalf(1, "tracecsv: %v", err)
 		}
 	}
+	envLabel := *topoF + "/" + *wlF
+	if *scenarioF != "" {
+		envLabel = "scenario " + *scenarioF
+	}
 	episodes := (res.Rounds - res.ResumedFrom) * cfg.Workers
-	fmt.Fprintf(os.Stderr, "trained %s/%s: %d rounds (%d episodes of %v simulated time) in %v wall clock\n",
-		*topoF, *wlF, res.Rounds, episodes, dur, time.Since(start).Round(time.Millisecond))
-	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(res.Models), *out)
+	fmt.Fprintf(stderr, "trained %s: %d rounds (%d episodes of %v simulated time) in %v wall clock\n",
+		envLabel, res.Rounds, episodes, time.Duration(episode/pet.Nanosecond)*time.Nanosecond, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "wrote %d bytes to %s\n", len(res.Models), *out)
 	// The single machine-parsable result line.
-	fmt.Printf("rounds=%d episodes=%d resumed_from=%d cum_reward=%.6f retries=%d stragglers=%d degraded_rounds=%d model_bytes=%d out=%s\n",
+	fmt.Fprintf(stdout, "rounds=%d episodes=%d resumed_from=%d cum_reward=%.6f retries=%d stragglers=%d degraded_rounds=%d model_bytes=%d out=%s\n",
 		res.Rounds, episodes, res.ResumedFrom, res.CumReward, res.Retries, res.Stragglers, len(res.DegradedRounds), len(res.Models), *out)
+	return 0
 }

@@ -1,32 +1,40 @@
 // Incast: a pure partition-aggregate workload (every flow is part of a
 // many-to-one group), the traffic pattern that motivates PET's
-// incast-degree state. Uses the lower-level Env API to inspect what a PET
-// agent's Network Condition Monitor actually saw.
+// incast-degree state. The scenario itself is data — a committed JSON
+// document decoded through the scenario DSL — and the example sweeps it
+// across two schemes by editing one field of the spec. Uses the
+// lower-level Env API to inspect what a PET agent's Network Condition
+// Monitor actually saw.
 //
 //	go run ./examples/incast
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"pet"
 )
 
+//go:embed scenario.json
+var scenarioDoc []byte
+
 func main() {
 	fmt.Println("Incast stress — 100% partition-aggregate traffic, fan-in 3")
 	fmt.Println()
 
+	spec, err := pet.DecodeScenarioSpec(scenarioDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, scheme := range []pet.Scheme{pet.SchemePET, pet.SchemeSECN2} {
-		env, err := pet.NewEnv(pet.Scenario{
-			Scheme:         scheme,
-			Train:          true,
-			Load:           0.5,
-			IncastFraction: 1.0, // everything is incast
-			IncastFanIn:    3,
-			Warmup:         15 * pet.Millisecond,
-			Duration:       40 * pet.Millisecond,
-		})
+		spec.Scheme = string(scheme)
+		s, err := spec.ToScenario()
+		if err != nil {
+			log.Fatal(err)
+		}
+		env, err := pet.NewEnv(s)
 		if err != nil {
 			log.Fatal(err)
 		}

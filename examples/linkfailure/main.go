@@ -1,45 +1,41 @@
 // Link failure robustness (the paper's Fig. 7 scenario at example scale):
-// 10% of fabric links go down mid-run and come back later; the time series
-// shows PET degrading and recovering.
+// a fabric link goes down mid-run and comes back later; the time series
+// shows PET degrading and recovering. The whole run — including the
+// perturbation schedule — is one committed scenario document decoded
+// through the DSL: the link-down/link-up pair is data, not code, and the
+// deterministic link selection guarantees the link-up restores exactly the
+// link the link-down failed.
 //
 //	go run ./examples/linkfailure
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"pet"
 )
 
+//go:embed scenario.json
+var scenarioDoc []byte
+
 func main() {
 	fmt.Println("Link failure — Web Search @ 60%, fabric links flap mid-run")
 	fmt.Println()
 
-	var failed []pet.Time // not link IDs — just to show timing in output
-	res, err := pet.Run(pet.Scenario{
-		Scheme:         pet.SchemePET,
-		Train:          true,
-		Load:           0.6,
-		IncastFraction: 0.2,
-		IncastFanIn:    3,
-		Warmup:         20 * pet.Millisecond,
-		Duration:       80 * pet.Millisecond,
-		SeriesWindow:   10 * pet.Millisecond,
-		Events: []pet.Event{
-			{At: 40 * pet.Millisecond, Do: func(e *pet.Env) {
-				links := e.Net.Graph().SwitchLinks()[:1]
-				e.Net.SetLinksUp(links, false)
-				failed = append(failed, e.Eng.Now())
-				fmt.Printf("  t=%v: link %d DOWN\n", e.Eng.Now(), links[0])
-			}},
-			{At: 70 * pet.Millisecond, Do: func(e *pet.Env) {
-				links := e.Net.Graph().SwitchLinks()[:1]
-				e.Net.SetLinksUp(links, true)
-				fmt.Printf("  t=%v: link %d restored\n", e.Eng.Now(), links[0])
-			}},
-		},
-	})
+	spec, err := pet.DecodeScenarioSpec(scenarioDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range spec.Events {
+		fmt.Printf("  scheduled t=%v: %s (%d link)\n", ev.At, ev.Kind, ev.Links)
+	}
+	s, err := spec.ToScenario()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pet.Run(s)
 	if err != nil {
 		log.Fatal(err)
 	}

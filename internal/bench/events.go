@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"pet/internal/topo"
+	"pet/internal/workload"
+)
+
+// This file turns scheduled perturbations into data. Historically an Event
+// was an opaque `Do func(*Env)` closure, so every perturbation had to be
+// compiled in; EventSpec is the declarative form scenario specs carry, and a
+// name-keyed registry of event kinds — mirroring the scheme/transport
+// registries — compiles each spec into the closure the engine schedules.
+// The Go-struct API is unchanged: Scenario.Events still holds []Event, and
+// hand-written closures remain first-class; EventSpec.Compile is the adapter
+// from data to that form.
+
+// EventSpec is the declarative form of one scheduled perturbation. At and
+// Kind are universal; the remaining fields parameterize specific kinds and
+// are validated by the kind's registered builder (a field foreign to the
+// kind is rejected, so a typo cannot silently no-op).
+type EventSpec struct {
+	// At is the absolute simulation time the perturbation fires, as a Go
+	// duration string ("40ms"). Warmup is simulation time too, so events
+	// inside the measurement window land at Warmup+offset.
+	At SimDuration `json:"at"`
+
+	// Kind names a registered event kind; see EventKindNames.
+	Kind string `json:"kind"`
+
+	// link-down / link-up: the affected switch-switch links, either as a
+	// fraction of the fabric (ceil(fraction·N), minimum 1) or an absolute
+	// count. Selection is deterministic — the first links in fabric order —
+	// so a link-up with the same fraction restores exactly the set a prior
+	// link-down failed.
+	Fraction float64 `json:"fraction,omitempty"`
+	Links    int     `json:"links,omitempty"`
+
+	// load-change: the new offered-load fraction [0,1] (0 silences the
+	// generator until a later event raises it). workload-switch: the load
+	// to run the new workload at; nil keeps the current load.
+	Load *float64 `json:"load,omitempty"`
+
+	// workload-switch: the registered workload name to switch to.
+	Workload string `json:"workload,omitempty"`
+
+	// incast-burst: Groups many-to-one groups of FanIn senders each sending
+	// ChunkBytes, emitted immediately on top of the Poisson processes.
+	// Zero values keep the generator's configured fan-in and chunk size;
+	// Groups defaults to 1.
+	Groups     int   `json:"groups,omitempty"`
+	FanIn      int   `json:"fan_in,omitempty"`
+	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
+}
+
+// EventBuilder validates an EventSpec of its kind and returns the closure to
+// schedule. Validation errors must describe the offending field; Compile
+// wraps them with the event's position.
+type EventBuilder func(ev EventSpec) (func(*Env), error)
+
+var (
+	eventMu    sync.RWMutex
+	eventKinds = map[string]EventBuilder{}
+)
+
+// RegisterEventKind makes a perturbation kind selectable by name via
+// EventSpec.Kind. It is intended for use from init functions; registering a
+// nil builder, an empty name, or the same name twice panics.
+func RegisterEventKind(kind string, build EventBuilder) {
+	eventMu.Lock()
+	defer eventMu.Unlock()
+	if kind == "" || build == nil {
+		panic("bench: RegisterEventKind with empty kind or nil builder")
+	}
+	if _, dup := eventKinds[kind]; dup {
+		panic(fmt.Sprintf("bench: RegisterEventKind called twice for %q", kind))
+	}
+	eventKinds[kind] = build
+}
+
+// EventKindNames lists every registered event kind, sorted.
+func EventKindNames() []string {
+	eventMu.RLock()
+	defer eventMu.RUnlock()
+	names := make([]string, 0, len(eventKinds))
+	for n := range eventKinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// UnknownEventKindError reports an EventSpec naming a kind no package has
+// registered.
+type UnknownEventKindError struct{ Kind string }
+
+func (e *UnknownEventKindError) Error() string {
+	return fmt.Sprintf("bench: unknown event kind %q (registered: %v)", e.Kind, EventKindNames())
+}
+
+// Compile resolves the spec against the event-kind registry and returns the
+// schedulable Event — the adapter from the data form to the closure form.
+func (ev EventSpec) Compile() (Event, error) {
+	eventMu.RLock()
+	build, ok := eventKinds[ev.Kind]
+	eventMu.RUnlock()
+	if !ok {
+		return Event{}, &UnknownEventKindError{Kind: ev.Kind}
+	}
+	if ev.At < 0 {
+		return Event{}, fmt.Errorf("at %v is negative", ev.At)
+	}
+	do, err := build(ev)
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{At: ev.At.Time(), Do: do}, nil
+}
+
+// CompileEvents compiles a spec's event list in order. The returned error
+// names the offending index.
+func CompileEvents(evs []EventSpec) ([]Event, error) {
+	if len(evs) == 0 {
+		return nil, nil
+	}
+	out := make([]Event, len(evs))
+	for i, ev := range evs {
+		compiled, err := ev.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("events[%d]: %w", i, err)
+		}
+		out[i] = compiled
+	}
+	return out, nil
+}
+
+// requireZero rejects parameter fields foreign to the kind, so a spec that
+// sets e.g. "workload" on a link-down event fails loudly instead of
+// silently dropping the field.
+func (ev EventSpec) requireZero(fields ...string) error {
+	for _, f := range fields {
+		zero := true
+		switch f {
+		case "fraction":
+			zero = ev.Fraction == 0
+		case "links":
+			zero = ev.Links == 0
+		case "load":
+			zero = ev.Load == nil
+		case "workload":
+			zero = ev.Workload == ""
+		case "groups":
+			zero = ev.Groups == 0
+		case "fan_in":
+			zero = ev.FanIn == 0
+		case "chunk_bytes":
+			zero = ev.ChunkBytes == 0
+		}
+		if !zero {
+			return fmt.Errorf("field %q does not apply to kind %q", f, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// linkSet resolves the deterministic switch-link selection of a link event:
+// the first Links (or ceil(Fraction·N), minimum 1) links in fabric order.
+func (ev EventSpec) linkSet(e *Env) []topo.LinkID {
+	if ev.Links > 0 {
+		all := e.Net.Graph().SwitchLinks()
+		n := ev.Links
+		if n > len(all) {
+			n = len(all)
+		}
+		return all[:n]
+	}
+	return pickFabricLinks(e, ev.Fraction)
+}
+
+func buildLinkEvent(up bool) EventBuilder {
+	return func(ev EventSpec) (func(*Env), error) {
+		if err := ev.requireZero("load", "workload", "groups", "fan_in", "chunk_bytes"); err != nil {
+			return nil, err
+		}
+		switch {
+		case ev.Fraction < 0 || ev.Fraction > 1:
+			return nil, fmt.Errorf("fraction %g out of range [0,1]", ev.Fraction)
+		case ev.Links < 0:
+			return nil, fmt.Errorf("links %d is negative", ev.Links)
+		case ev.Fraction > 0 && ev.Links > 0:
+			return nil, fmt.Errorf("fraction and links are mutually exclusive")
+		case ev.Fraction == 0 && ev.Links == 0:
+			return nil, fmt.Errorf("need fraction or links")
+		}
+		return func(e *Env) { e.SetLinksUp(ev.linkSet(e), up) }, nil
+	}
+}
+
+func buildLoadChange(ev EventSpec) (func(*Env), error) {
+	if err := ev.requireZero("fraction", "links", "workload", "groups", "fan_in", "chunk_bytes"); err != nil {
+		return nil, err
+	}
+	if ev.Load == nil {
+		return nil, fmt.Errorf("need load")
+	}
+	l := *ev.Load
+	if l < 0 || l > 1 || math.IsNaN(l) {
+		return nil, fmt.Errorf("load %g out of range [0,1]", l)
+	}
+	return func(e *Env) { e.Gen.SetWorkload(e.Gen.Config().CDF, l) }, nil
+}
+
+func buildWorkloadSwitch(ev EventSpec) (func(*Env), error) {
+	if err := ev.requireZero("fraction", "links", "groups", "fan_in", "chunk_bytes"); err != nil {
+		return nil, err
+	}
+	if ev.Workload == "" {
+		return nil, fmt.Errorf("need workload")
+	}
+	cdf, err := workload.ByName(ev.Workload)
+	if err != nil {
+		return nil, err
+	}
+	load := -1.0
+	if ev.Load != nil {
+		load = *ev.Load
+		if load < 0 || load > 1 || math.IsNaN(load) {
+			return nil, fmt.Errorf("load %g out of range [0,1]", load)
+		}
+	}
+	return func(e *Env) {
+		l := load
+		if l < 0 {
+			l = e.Gen.Config().Load
+		}
+		e.Gen.SetWorkload(cdf, l)
+	}, nil
+}
+
+func buildIncastBurst(ev EventSpec) (func(*Env), error) {
+	if err := ev.requireZero("fraction", "links", "load", "workload"); err != nil {
+		return nil, err
+	}
+	switch {
+	case ev.Groups < 0:
+		return nil, fmt.Errorf("groups %d is negative", ev.Groups)
+	case ev.FanIn < 0:
+		return nil, fmt.Errorf("fan_in %d is negative", ev.FanIn)
+	case ev.ChunkBytes < 0:
+		return nil, fmt.Errorf("chunk_bytes %d is negative", ev.ChunkBytes)
+	}
+	return func(e *Env) { e.Gen.Burst(ev.Groups, ev.FanIn, ev.ChunkBytes) }, nil
+}
+
+func init() {
+	RegisterEventKind("link-down", buildLinkEvent(false))
+	RegisterEventKind("link-up", buildLinkEvent(true))
+	RegisterEventKind("load-change", buildLoadChange)
+	RegisterEventKind("workload-switch", buildWorkloadSwitch)
+	RegisterEventKind("incast-burst", buildIncastBurst)
+}

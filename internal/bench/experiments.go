@@ -273,7 +273,7 @@ func (r *Runner) Fig3() *Table {
 // fctPanel renders one Fig. 4 panel: a metric for every scheme across loads.
 func (r *Runner) fctPanel(title string, wl *workload.CDF, metric func(Result) float64) (*Table, error) {
 	t := &Table{Title: title, Columns: r.loadCols()}
-	for _, scheme := range AllSchemes() {
+	for _, scheme := range ComparedSchemes() {
 		row := []string{string(scheme)}
 		for _, load := range r.Loads {
 			res, err := r.run(scheme, wl, load)
@@ -356,7 +356,7 @@ func (r *Runner) Table1() (*Table, error) {
 func (r *Runner) Fig8() (*Table, error) {
 	t := &Table{Title: "Fig. 8 — WebSearch per-packet latency, avg (p99) µs", Columns: r.loadCols()}
 	ws := workload.WebSearch()
-	for _, scheme := range AllSchemes() {
+	for _, scheme := range ComparedSchemes() {
 		row := []string{string(scheme)}
 		for _, load := range r.Loads {
 			res, err := r.run(scheme, ws, load)

@@ -14,6 +14,8 @@ var MergeResults = mergeResults
 
 func PickFabricLinks(e *Env, frac float64) []topo.LinkID { return pickFabricLinks(e, frac) }
 
+func (s Scenario) WithDefaults() Scenario { return s.withDefaults() }
+
 func (r *Runner) RunOne(scheme Scheme, wl *workload.CDF, load float64) (Result, error) {
 	return r.run(scheme, wl, load)
 }

@@ -1,40 +1,34 @@
 package bench
 
 import (
-	"fmt"
-
 	"pet/internal/topo"
 	"pet/internal/workload"
 )
 
 // This file is the shared name → configuration plumbing the CLIs and the
 // petd experiment API select fabrics and workloads with, so "tiny",
-// "websearch" etc. mean the same thing everywhere.
+// "websearch" etc. mean the same thing everywhere. Both lookups delegate to
+// their registries (topo presets, the named workload registry), so the
+// accepted names can never drift from what is actually registered.
 
-// TopoByName returns the fabric scale registered under name: "tiny" (the
-// default for an empty name), "small" or "paper".
+// TopoByName returns the fabric preset registered under name ("tiny",
+// "small", "medium", "paper"); an empty name defaults to "tiny". Unknown
+// names yield a *topo.UnknownPresetError.
 func TopoByName(name string) (topo.LeafSpineConfig, error) {
-	switch name {
-	case "", "tiny":
-		return topo.TinyScale(), nil
-	case "small":
-		return topo.SmallScale(), nil
-	case "paper":
-		return topo.PaperScale(), nil
+	if name == "" {
+		name = "tiny"
 	}
-	return topo.LeafSpineConfig{}, fmt.Errorf("bench: unknown topo %q (want tiny|small|paper)", name)
+	return topo.Preset(name)
 }
 
-// WorkloadByName returns the flow-size distribution registered under name:
-// "websearch" (the default for an empty name) or "datamining".
+// WorkloadByName returns the flow-size distribution registered under name;
+// an empty name defaults to "websearch". Unknown names yield a
+// *workload.UnknownWorkloadError.
 func WorkloadByName(name string) (*workload.CDF, error) {
-	switch name {
-	case "", "websearch":
-		return workload.WebSearch(), nil
-	case "datamining":
-		return workload.DataMining(), nil
+	if name == "" {
+		name = "websearch"
 	}
-	return nil, fmt.Errorf("bench: unknown workload %q (want websearch|datamining)", name)
+	return workload.ByName(name)
 }
 
 // DefaultBetas returns the paper's per-workload reward weights (Sec. 5.2):

@@ -45,8 +45,17 @@ const (
 	SchemePETCTDE Scheme = "PET-CTDE"
 )
 
-// AllSchemes lists the paper's four compared schemes.
+// AllSchemes enumerates every registered scheme, sorted — a registry-backed
+// view that can never drift from what is actually selectable (it is the same
+// list -list-schemes prints and the spec validator accepts).
 func AllSchemes() []Scheme {
+	return SchemeNames()
+}
+
+// ComparedSchemes lists the paper's four compared schemes — the fixed
+// comparison set of the evaluation figures (Sec. 5.4), a paper constant
+// rather than a registry view.
+func ComparedSchemes() []Scheme {
 	return []Scheme{SchemePET, SchemeACC, SchemeSECN1, SchemeSECN2}
 }
 
@@ -65,6 +74,13 @@ type Scenario struct {
 	Load           float64
 	IncastFraction float64
 	IncastFanIn    int
+
+	// ExplicitLoad marks Load as deliberately set, suppressing the 0.6
+	// default even when it is zero — a zero-load scenario (all traffic from
+	// events or incast bursts) is otherwise inexpressible. Mirrors
+	// ExplicitBetas; spec-decoded scenarios set it whenever "load" was
+	// present in the document.
+	ExplicitLoad bool
 
 	Scheme Scheme
 	Beta1  float64 // reward weights; both zero → (0.3, 0.7) unless ExplicitBetas
@@ -87,6 +103,11 @@ type Scenario struct {
 
 	Warmup   sim.Time // stats discarded before this point
 	Duration sim.Time // measurement window after warmup
+
+	// ExplicitWarmup marks Warmup as deliberately set, suppressing the
+	// 20ms default even when it is zero — measurement from t=0. Mirrors
+	// ExplicitBetas/ExplicitLoad.
+	ExplicitWarmup bool
 
 	// HistoryK overrides PET's state history depth (ablation); 0 = default.
 	HistoryK int
@@ -138,7 +159,7 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Workload == nil {
 		s.Workload = workload.WebSearch()
 	}
-	if s.Load == 0 {
+	if s.Load == 0 && !s.ExplicitLoad {
 		s.Load = 0.6
 	}
 	if s.Scheme == "" {
@@ -150,7 +171,7 @@ func (s Scenario) withDefaults() Scenario {
 	if !s.ExplicitBetas && s.Beta1 == 0 && s.Beta2 == 0 {
 		s.Beta1, s.Beta2 = 0.3, 0.7
 	}
-	if s.Warmup == 0 {
+	if s.Warmup == 0 && !s.ExplicitWarmup {
 		s.Warmup = 20 * sim.Millisecond
 	}
 	if s.Duration == 0 {

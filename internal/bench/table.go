@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/csv"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -77,6 +78,43 @@ func (t *Table) CSV() string {
 		fmt.Fprintf(&b, "# %s\n", n)
 	}
 	return b.String()
+}
+
+// ResultTable renders one completed run as a metric/value table — the
+// petbench -scenario output for spec-described custom scenarios that have no
+// paper figure of their own.
+func ResultTable(title string, res Result) *Table {
+	t := &Table{Title: title, Columns: []string{"metric", "value"}}
+	t.AddRow("scheme", string(res.Scheme))
+	t.AddRow("load", fmt.Sprintf("%.2f", res.Load))
+	t.AddRow("flows done", fmt.Sprintf("%d", res.FlowsDone))
+	t.AddRow("drops", fmt.Sprintf("%d", res.Drops))
+	t.AddRow("overall avg nFCT", f2(res.Overall.AvgSlowdown))
+	t.AddRow("overall p99 nFCT", f2(res.Overall.P99Slowdown))
+	t.AddRow("mice avg nFCT", f2(res.MiceBkt.AvgSlowdown))
+	t.AddRow("mice p99 nFCT", f2(res.MiceBkt.P99Slowdown))
+	t.AddRow("elephant avg nFCT", f2(res.Elephant.AvgSlowdown))
+	t.AddRow("incast avg nFCT", f2(res.Incast.AvgSlowdown))
+	t.AddRow("latency avg us", f1(res.LatencyAvgUs))
+	t.AddRow("latency p99 us", f1(res.LatencyP99Us))
+	t.AddRow("queue avg KB", f1(res.QueueAvgKB))
+	t.AddRow("queue var KB", f1(res.QueueVarKB))
+	for _, k := range sortedOverheadKeys(res.Overhead) {
+		t.AddRow(k, fmt.Sprintf("%d", res.Overhead[k]))
+	}
+	return t
+}
+
+func sortedOverheadKeys(m map[string]int64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // f2 formats a float with two decimals.

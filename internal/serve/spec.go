@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -31,6 +32,15 @@ type ExperimentSpec struct {
 	// Kind selects the job type: "run" (default) executes one measurement
 	// scenario; "pretrain" runs the offline training fleet.
 	Kind string `json:"kind,omitempty"`
+
+	// Scenario, when present, is a complete bench.ScenarioSpec document —
+	// the same versioned JSON the CLIs load with -scenario — and is
+	// mutually exclusive with the flat scenario fields below (scheme, topo,
+	// workload, load, incast_*, seed, train). It passes through
+	// bench.DecodeScenarioSpec, so unknown keys and bad values come back as
+	// 400s naming the offending JSON path. Warmup/Duration remain job-level
+	// knobs and override the document's when set.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 
 	Scheme    string `json:"scheme,omitempty"`    // registered scheme name (default PET)
 	Transport string `json:"transport,omitempty"` // registered transport name (default dcqcn)
@@ -100,6 +110,22 @@ func (sp ExperimentSpec) normalized() (ExperimentSpec, error) {
 	if sp.Load < 0 || sp.Load > 1 {
 		return sp, fmt.Errorf("serve: load %g out of range (0,1]", sp.Load)
 	}
+	if len(sp.Scenario) > 0 {
+		if sp.Scheme != "" || sp.Topo != "" || sp.Workload != "" || sp.Load != 0 ||
+			sp.IncastFraction != 0 || sp.IncastFanIn != 0 || sp.Seed != 0 || sp.Train != nil {
+			return sp, fmt.Errorf("serve: an embedded scenario document is mutually exclusive with the flat scenario fields (scheme/topo/workload/load/incast_*/seed/train)")
+		}
+		// Decode eagerly so a malformed document fails the launch with a
+		// path-naming 400 instead of failing the job asynchronously.
+		spec, err := bench.DecodeScenarioSpec(sp.Scenario)
+		if err != nil {
+			return sp, err
+		}
+		if _, err := spec.ToScenario(); err != nil {
+			return sp, err
+		}
+		return sp, nil
+	}
 	if sp.Scheme == "" {
 		// The scenario default is the static SECN1 baseline; the daemon's
 		// reason to exist is the learned controller, so default like petsim.
@@ -112,6 +138,29 @@ func (sp ExperimentSpec) normalized() (ExperimentSpec, error) {
 // durations are the parsed warmup and measurement/episode windows (zero
 // means "use the scenario default").
 func (sp ExperimentSpec) scenario() (s bench.Scenario, warmup, duration sim.Time, err error) {
+	if len(sp.Scenario) > 0 {
+		spec, err := bench.DecodeScenarioSpec(sp.Scenario)
+		if err != nil {
+			return s, 0, 0, err
+		}
+		if s, err = spec.ToScenario(); err != nil {
+			return s, 0, 0, err
+		}
+		// Warmup/Duration stay job-level overrides on top of the document.
+		if warmup, err = parseSimDuration("warmup", sp.Warmup); err != nil {
+			return s, 0, 0, err
+		}
+		if duration, err = parseSimDuration("duration", sp.Duration); err != nil {
+			return s, 0, 0, err
+		}
+		if warmup > 0 {
+			s.Warmup = warmup
+		}
+		if duration > 0 {
+			s.Duration = duration
+		}
+		return s, s.Warmup, s.Duration, nil
+	}
 	s.Topo, err = bench.TopoByName(sp.Topo)
 	if err != nil {
 		return s, 0, 0, err

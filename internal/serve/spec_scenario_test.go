@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pet/internal/telemetry"
+
+	// The canned scenario library selects PET over dcqcn/dctcp; register
+	// everything those documents can name.
+	_ "pet/internal/core"
+	_ "pet/internal/dcqcn"
+	_ "pet/internal/dctcp"
+)
+
+// scenarioJob wraps a scenario document into a launchable spec with short
+// job-level windows so tests stay fast.
+func scenarioJob(doc string) ExperimentSpec {
+	return ExperimentSpec{
+		Scenario: json.RawMessage(doc),
+		Warmup:   "2ms",
+		Duration: "3ms",
+	}
+}
+
+func TestScenarioSpecJobRuns(t *testing.T) {
+	m := NewManager(1, telemetry.New(), t.Logf)
+	defer m.Shutdown(context.Background())
+
+	st, err := m.Launch(scenarioJob(`{
+		"seed": 3,
+		"scheme": "SECN1",
+		"load": 0.5,
+		"events": [{"at": "1500us", "kind": "load-change", "load": 0.9}]
+	}`))
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	done := waitTerminal(t, m, st.ID, 2*time.Minute)
+	if done.State != StateDone {
+		t.Fatalf("job finished %s (error %q), want %s", done.State, done.Error, StateDone)
+	}
+	if done.Result == nil || done.Result.FlowsDone == 0 {
+		t.Fatalf("scenario job produced no flows: %+v", done.Result)
+	}
+}
+
+func TestScenarioSpecJobValidation(t *testing.T) {
+	m := NewManager(1, telemetry.New(), t.Logf)
+	defer m.Shutdown(context.Background())
+
+	cases := []struct {
+		name string
+		spec ExperimentSpec
+		want string
+	}{
+		{
+			"unknown field names path",
+			scenarioJob(`{"topo": {"spine": 2}}`),
+			"topo.spine: unknown field",
+		},
+		{
+			"unknown scheme names path",
+			scenarioJob(`{"scheme": "NOPE"}`),
+			"scheme: bench: unknown scheme",
+		},
+		{
+			"bad event names index",
+			scenarioJob(`{"events": [{"at": "1ms", "kind": "quake"}]}`),
+			"events[0].kind",
+		},
+		{
+			"flat fields conflict",
+			ExperimentSpec{Scenario: json.RawMessage(`{"load": 0.5}`), Load: 0.5},
+			"mutually exclusive",
+		},
+		{
+			"invalid json",
+			scenarioJob(`{`),
+			"invalid JSON",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := m.Launch(tc.spec)
+			if err == nil {
+				t.Fatal("Launch accepted a bad scenario spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScenarioSpecHTTP400(t *testing.T) {
+	srv := New(Config{MaxJobs: 1, Logf: t.Logf})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/experiments", "application/json",
+		strings.NewReader(`{"scenario": {"topo": {"spine": 2}}, "duration": "2ms"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var apiErr apiError
+	decodeTestJSON(t, resp, http.StatusBadRequest, &apiErr)
+	if !strings.Contains(apiErr.Error, "topo.spine") {
+		t.Fatalf("400 body %q does not name the JSON path", apiErr.Error)
+	}
+
+	// A good embedded document is accepted end to end.
+	resp, err = http.Post(ts.URL+"/experiments", "application/json",
+		strings.NewReader(`{"scenario": {"scheme": "SECN1", "load": 0.4}, "warmup": "1ms", "duration": "2ms"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	var st JobStatus
+	decodeTestJSON(t, resp, http.StatusAccepted, &st)
+	if st.ID == "" {
+		t.Fatal("accepted job has no ID")
+	}
+}
+
+// Every canned library scenario is a valid petd job spec: it passes launch
+// validation embedded as-is, and one runs end to end.
+func TestCannedScenariosAsJobSpecs(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no scenario library found: %v", err)
+	}
+	for _, f := range files {
+		doc, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := ExperimentSpec{Scenario: json.RawMessage(doc)}
+		if _, err := sp.normalized(); err != nil {
+			t.Errorf("%s rejected as a job spec: %v", filepath.Base(f), err)
+		}
+	}
+
+	m := NewManager(1, telemetry.New(), t.Logf)
+	defer m.Shutdown(context.Background())
+	doc, err := os.ReadFile(filepath.Join("..", "..", "scenarios", "failure-storm.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scenarioJob(string(doc))
+	st, err := m.Launch(spec)
+	if err != nil {
+		t.Fatalf("Launch failure-storm: %v", err)
+	}
+	done := waitTerminal(t, m, st.ID, 2*time.Minute)
+	if done.State != StateDone {
+		t.Fatalf("failure-storm finished %s (error %q)", done.State, done.Error)
+	}
+}

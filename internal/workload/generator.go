@@ -68,8 +68,11 @@ func NewGenerator(eng *sim.Engine, cfg Config, seed int64, start StartFunc) *Gen
 	if len(cfg.Hosts) < 2 {
 		panic("workload: need at least 2 hosts")
 	}
-	if cfg.Load <= 0 || cfg.Load >= 1.0001 {
-		panic("workload: load must be in (0,1]")
+	if cfg.Load < 0 || cfg.Load >= 1.0001 {
+		// Zero is allowed: a generator at load 0 emits nothing until a
+		// load-change event raises it via SetWorkload — how scenario specs
+		// express an initially-idle fabric.
+		panic("workload: load must be in [0,1]")
 	}
 	if cfg.IncastFraction < 0 || cfg.IncastFraction > 1 {
 		panic("workload: incast fraction must be in [0,1]")
@@ -141,6 +144,29 @@ func (g *Generator) SetWorkload(cdf *CDF, load float64) {
 
 // Config returns the generator's current configuration.
 func (g *Generator) Config() Config { return g.cfg }
+
+// Burst immediately emits groups many-to-one incast groups on top of the
+// Poisson processes — the one-off incast spike perturbation. fanIn and chunk
+// override the configured senders-per-group and bytes-per-sender; zero keeps
+// the current configuration. Draws come from the generator's own stream, so
+// a burst at a fixed time is deterministic per seed.
+func (g *Generator) Burst(groups, fanIn int, chunk int64) {
+	if groups <= 0 {
+		groups = 1
+	}
+	saved := g.cfg
+	if fanIn > 0 {
+		g.cfg.IncastFanIn = fanIn
+	}
+	if chunk > 0 {
+		g.cfg.IncastChunk = chunk
+	}
+	for i := 0; i < groups; i++ {
+		g.emitIncast()
+	}
+	g.cfg.IncastFanIn = saved.IncastFanIn
+	g.cfg.IncastChunk = saved.IncastChunk
+}
 
 func (g *Generator) scheduleBackground() {
 	mean := g.backgroundInterarrival()

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRegistryByName(t *testing.T) {
+	for _, name := range []string{"websearch", "datamining"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c == nil || c.Mean() <= 0 {
+			t.Fatalf("ByName(%q) returned a degenerate CDF", name)
+		}
+	}
+	if got := Names(); !reflect.DeepEqual(got, []string{"datamining", "websearch"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := ByName("bogus")
+	var unknown *UnknownWorkloadError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error %T is not *UnknownWorkloadError", err)
+	}
+	if unknown.Name != "bogus" || len(unknown.Known) == 0 {
+		t.Fatalf("error carries no context: %+v", unknown)
+	}
+	if !strings.Contains(err.Error(), "websearch") {
+		t.Fatalf("error %q does not list known workloads", err)
+	}
+}
+
+func TestRegistryFreshInstances(t *testing.T) {
+	a, _ := ByName("websearch")
+	b, _ := ByName("websearch")
+	if a == b {
+		t.Fatal("ByName returned a shared *CDF; builders must mint fresh instances")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() *CDF
+	}{
+		{"", WebSearch},
+		{"dup", nil},
+		{"websearch", WebSearch}, // duplicate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q, nil=%v) did not panic", tc.name, tc.build == nil)
+				}
+			}()
+			Register(tc.name, tc.build)
+		}()
+	}
+}

@@ -281,7 +281,7 @@ func TestGeneratorValidation(t *testing.T) {
 	ls := topo.BuildLeafSpine(topo.TinyScale())
 	cases := []Config{
 		{Hosts: ls.Hosts[:1], HostRateBps: 1e9, CDF: WebSearch(), Load: 0.5},
-		{Hosts: ls.Hosts, HostRateBps: 1e9, CDF: WebSearch(), Load: 0},
+		{Hosts: ls.Hosts, HostRateBps: 1e9, CDF: WebSearch(), Load: -0.1},
 		{Hosts: ls.Hosts, HostRateBps: 1e9, CDF: WebSearch(), Load: 1.5},
 		{Hosts: ls.Hosts, HostRateBps: 1e9, CDF: WebSearch(), Load: 0.5, IncastFraction: -0.1},
 	}

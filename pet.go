@@ -40,6 +40,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"pet/internal/acc"
@@ -212,6 +213,34 @@ func WebSearch() *CDF { return workload.WebSearch() }
 // DataMining returns the VL2 data-mining flow-size distribution.
 func DataMining() *CDF { return workload.DataMining() }
 
+// RegisterWorkload makes a flow-size distribution selectable by name in
+// scenario documents and the CLIs' -workload flag — the workload mirror of
+// RegisterScheme. The built-ins register "websearch" and "datamining".
+func RegisterWorkload(name string, build func() *CDF) { workload.Register(name, build) }
+
+// WorkloadByName resolves a registered workload name; unknown names yield an
+// *UnknownWorkloadError.
+func WorkloadByName(name string) (*CDF, error) { return workload.ByName(name) }
+
+// WorkloadNames lists every registered workload, sorted.
+func WorkloadNames() []string { return workload.Names() }
+
+// UnknownWorkloadError reports a workload name no package has registered
+// (errors.As).
+type UnknownWorkloadError = workload.UnknownWorkloadError
+
+// DefaultBetas returns the paper's per-workload reward weights: (0.3, 0.7)
+// for Web Search (latency-leaning), (0.7, 0.3) for Data Mining
+// (throughput-leaning).
+func DefaultBetas(wl *CDF) (b1, b2 float64) { return bench.DefaultBetas(wl) }
+
+// NewCDF builds a custom piecewise-linear flow-size distribution from knot
+// points — the programmatic form of a scenario document's inline
+// "workload": {"points": …} list.
+func NewCDF(name string, points []workload.Point) (*CDF, error) {
+	return workload.NewCDF(name, points)
+}
+
 // NewGenerator wires a workload generator to an engine and start callback.
 func NewGenerator(eng *Engine, cfg GeneratorConfig, seed int64, start workload.StartFunc) *Generator {
 	return workload.NewGenerator(eng, cfg, seed, start)
@@ -261,9 +290,62 @@ type (
 	Table = bench.Table
 	// Scheme selects the ECN control strategy under test.
 	Scheme = bench.Scheme
-	// Event is a scheduled mid-run perturbation.
+	// Event is a scheduled mid-run perturbation (the compiled closure form;
+	// EventSpec is the declarative form).
 	Event = bench.Event
 )
+
+// Scenario DSL: a versioned JSON document (ScenarioSpec) describes one
+// complete run and round-trips into the exact Scenario a Go caller would
+// have hand-built. The CLIs load documents via -scenario; petd accepts them
+// embedded in POST /experiments.
+type (
+	// ScenarioSpec is the versioned scenario document.
+	ScenarioSpec = bench.ScenarioSpec
+	// TopoSpec selects a fabric preset plus overrides inside a document.
+	TopoSpec = bench.TopoSpec
+	// WorkloadSpec selects a registered or inline-custom workload.
+	WorkloadSpec = bench.WorkloadSpec
+	// EventSpec is the declarative form of one scheduled perturbation.
+	EventSpec = bench.EventSpec
+	// EventBuilder compiles an EventSpec of a registered kind.
+	EventBuilder = bench.EventBuilder
+	// SimDuration is simulated time in a document ("20ms").
+	SimDuration = bench.SimDuration
+	// SpecError reports one invalid document element with its JSON path
+	// (errors.As).
+	SpecError = bench.SpecError
+	// UnknownEventKindError reports an unregistered EventSpec.Kind
+	// (errors.As).
+	UnknownEventKindError = bench.UnknownEventKindError
+)
+
+// ScenarioSpecVersion is the current scenario-document version.
+const ScenarioSpecVersion = bench.SpecVersion
+
+// DecodeScenarioSpec parses a scenario document strictly: unknown keys and
+// malformed values yield a *SpecError naming the JSON path.
+func DecodeScenarioSpec(data []byte) (*ScenarioSpec, error) {
+	return bench.DecodeScenarioSpec(data)
+}
+
+// LoadScenarioFile reads and decodes a scenario document from disk.
+func LoadScenarioFile(path string) (*ScenarioSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return bench.DecodeScenarioSpec(data)
+}
+
+// RegisterEventKind makes a perturbation kind selectable by name via
+// EventSpec.Kind — the event mirror of RegisterScheme. The built-ins
+// register link-down, link-up, load-change, workload-switch and
+// incast-burst.
+func RegisterEventKind(kind string, build EventBuilder) { bench.RegisterEventKind(kind, build) }
+
+// EventKindNames lists every registered event kind, sorted.
+func EventKindNames() []string { return bench.EventKindNames() }
 
 // Pluggable control plane: schemes and transports register named builders
 // and scenarios select them by name (see DESIGN.md).
@@ -305,6 +387,14 @@ func RegisterTransport(name TransportKind, build TransportBuilder) {
 // SchemeNames lists every registered scheme, sorted.
 func SchemeNames() []Scheme { return bench.SchemeNames() }
 
+// AllSchemes is the registry-backed enumeration of every selectable scheme
+// (identical to SchemeNames); ComparedSchemes is the paper's fixed
+// four-scheme comparison set the figures use.
+func AllSchemes() []Scheme { return bench.AllSchemes() }
+
+// ComparedSchemes lists the paper's four compared schemes.
+func ComparedSchemes() []Scheme { return bench.ComparedSchemes() }
+
 // TransportNames lists every registered transport, sorted.
 func TransportNames() []TransportKind { return bench.TransportNames() }
 
@@ -338,6 +428,10 @@ func NewEnv(s Scenario) (*Env, error) { return bench.NewEnv(s) }
 
 // NewRunner returns the experiment runner with laptop-scale defaults.
 func NewRunner() *Runner { return bench.NewRunner() }
+
+// ResultTable renders one completed run as a metric/value table — the
+// petbench output for spec-described scenarios without a paper figure.
+func ResultTable(title string, res Result) *Table { return bench.ResultTable(title, res) }
 
 // PretrainPET runs the offline training phase and returns a model bundle
 // loadable via Scenario.Models.
